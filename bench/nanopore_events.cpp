@@ -1,0 +1,116 @@
+// E15 (context) — the motivating experiments (§I refs [1,2]: Meller et
+// al., Sauer-Budge et al.): voltage-driven DNA translocation read out as
+// ionic-current blockades. The simulated system reproduces the
+// experimental phenomenology:
+//   * a threaded strand produces a deep current blockade;
+//   * the dwell time of the blockade falls as the driving voltage rises;
+//   * event depth is set by how much of the strand occupies the barrel.
+// This is the observable SPICE's free-energy landscape ultimately
+// explains — the link between the paper's PMF and the experiments.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "pore/current.hpp"
+#include "pore/system.hpp"
+#include "viz/series_writer.hpp"
+
+using namespace spice;
+
+namespace {
+
+/// Effective hydrodynamic blocking radius of a nucleotide (larger than
+/// the WCA radius: counter-ion cloud + hydration shell block current).
+constexpr double kBlockingRadius = 4.5;
+
+struct VoltageRun {
+  double voltage_mv = 0.0;
+  double mean_dwell_ps = 0.0;
+  double mean_depth = 0.0;  ///< mean I/I_open during events
+  std::size_t events = 0;
+};
+
+VoltageRun run_voltage(double voltage_mv, std::uint64_t seed) {
+  pore::TranslocationConfig config;
+  config.dna.nucleotides = 6;
+  config.head_z = -6.0;  // threaded: the event is under way at t = 0
+  config.pore.voltage_mv = voltage_mv;
+  config.pore.affinity = 0.5;          // weak binding: events must end
+  config.pore.site_amplitude = 0.4;
+  config.equilibration_steps = 500;
+  config.md.seed = seed;
+  pore::TranslocationSystem system = pore::build_translocation_system(config);
+
+  pore::CurrentModelParams current;
+  current.voltage_mv = voltage_mv;
+  const double open = pore::open_pore_current(system.pore->profile(), current);
+
+  // Record the current trace while the field drives the strand through.
+  constexpr std::size_t kChunks = 250;
+  constexpr std::size_t kStepsPerChunk = 400;
+  std::vector<double> trace;
+  trace.reserve(kChunks);
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    system.engine.step(kStepsPerChunk);
+    trace.push_back(pore::ionic_current(system.pore->profile(),
+                                        system.engine.positions(),
+                                        kBlockingRadius, current));
+  }
+
+  const auto events = pore::detect_blockade_events(trace, open, 0.90, 3);
+  VoltageRun result;
+  result.voltage_mv = voltage_mv;
+  result.events = events.size();
+  RunningStats dwell;
+  RunningStats depth;
+  const double ps_per_sample = kStepsPerChunk * config.md.dt;
+  for (const auto& e : events) {
+    dwell.add(e.dwell_samples * ps_per_sample);
+    depth.add(e.mean_blockade);
+  }
+  result.mean_dwell_ps = dwell.count() > 0 ? dwell.mean() : 0.0;
+  result.mean_depth = depth.count() > 0 ? depth.mean() : 1.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("================================================================\n");
+  std::printf("E15 | Nanopore current blockades (the motivating experiments)\n");
+  std::printf("================================================================\n");
+
+  std::printf("\n--- Blockade events vs driving voltage (4 replicas each) ---\n");
+  viz::Table table({"voltage_mv", "events", "mean_dwell_ps", "mean_depth_I/I0"});
+  double dwell_low = 0.0;
+  double dwell_high = 0.0;
+  for (const double voltage : {3000.0, 6000.0, 12000.0}) {
+    RunningStats dwell;
+    RunningStats depth;
+    std::size_t events = 0;
+    for (std::uint64_t replica = 0; replica < 4; ++replica) {
+      const VoltageRun r = run_voltage(voltage, 100 + replica);
+      if (r.events > 0) {
+        dwell.add(r.mean_dwell_ps);
+        depth.add(r.mean_depth);
+        events += r.events;
+      }
+    }
+    table.add_row({voltage, static_cast<double>(events), dwell.mean(), depth.mean()});
+    if (voltage == 3000.0) dwell_low = dwell.mean();
+    if (voltage == 12000.0) dwell_high = dwell.mean();
+  }
+  table.write_pretty(std::cout, 2);
+
+  std::printf("\n--- Claim checks ---\n");
+  std::printf("[%s] blockade events are detected at every voltage\n",
+              (dwell_low > 0.0 && dwell_high > 0.0) ? "PASS" : "FAIL");
+  std::printf("[%s] dwell time falls as the driving voltage rises "
+              "(%.0f ps at 3000 mV vs %.0f ps at 12000 mV)\n",
+              dwell_high < dwell_low ? "PASS" : "FAIL", dwell_low, dwell_high);
+  std::printf("(voltages are exaggerated vs experiment so translocation fits in a\n"
+              " laptop-scale trace; the monotone dwell-voltage trend is the claim)\n");
+  return 0;
+}

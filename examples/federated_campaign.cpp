@@ -1,0 +1,82 @@
+// The full SPICE pipeline on the federated US-UK grid — all four phases
+// of §III at reduced (fast-demo) settings:
+//   1. static structural analysis of the pore,
+//   2. interactive MD with haptics over a co-scheduled lightpath,
+//   3. preprocessing sweep,
+//   4. production sweep mapped onto the TeraGrid + NGS federation.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/log.hpp"
+#include "spice/pipeline.hpp"
+
+using namespace spice;
+using namespace spice::core;
+
+int main() {
+  set_log_level(LogLevel::Info);  // narrate the phases
+
+  PipelineConfig config;
+  config.sweep.kappas_pn = {10.0, 100.0, 1000.0};
+  config.sweep.velocities_ns = {25.0, 100.0};
+  config.sweep.samples_at_slowest = 4;
+  config.sweep.grid_points = 11;
+  config.sweep.bootstrap_resamples = 48;
+  config.imd_steps = 800;
+  config.paper_replicas_per_cell = 6;
+
+  const PipelineReport report = run_full_pipeline(config);
+
+  std::printf("\n===== PHASE 1: static visualization =====\n");
+  std::printf("constriction: R = %.1f A at z = %.1f A; vestibule R = %.1f A; "
+              "barrel R = %.1f A\n",
+              report.statics.constriction_radius, report.statics.constriction_z,
+              report.statics.vestibule_radius, report.statics.barrel_radius);
+  std::cout << report.statics.rendering;
+
+  std::printf("\n===== PHASE 2: interactive MD =====\n");
+  std::printf("co-scheduled window: %s (start t+%.1f h)\n",
+              report.interactive.coschedule_feasible ? "booked" : "FAILED",
+              report.interactive.coschedule_start_hours);
+  std::printf("network: %s; efficiency %.1f%%, %llu steering commands applied\n",
+              report.interactive.network_used.c_str(),
+              100 * report.interactive.imd.efficiency(),
+              static_cast<unsigned long long>(report.interactive.imd.commands_applied));
+  std::printf("haptic force scale %.1f kcal/mol/A -> kappa bracket [%.0f, %.0f] pN/A\n",
+              report.interactive.mean_haptic_force,
+              report.interactive.suggested_kappa_lo_pn,
+              report.interactive.suggested_kappa_hi_pn);
+
+  std::printf("\n===== PHASE 3: preprocessing =====\n");
+  std::printf("coarse sweep of %zu cells; retained kappa values:",
+              report.preprocessing.sweep.combos.size());
+  for (const double k : report.preprocessing.retained_kappas_pn) std::printf(" %.0f", k);
+  std::printf("\n");
+
+  std::printf("\n===== PHASE 4: production =====\n");
+  const auto& production = report.production;
+  std::printf("grid plan: %zu jobs, %.0f CPU-hours expected\n", production.plan.jobs.size(),
+              production.plan.expected_cpu_hours);
+  std::printf("execution: %.2f days makespan, %zu completed, %zu requeued\n",
+              production.execution.makespan_days, production.execution.campaign.completed,
+              production.execution.jobs_requeued);
+  std::printf("placement:");
+  for (const auto& [site, n] : production.execution.campaign.jobs_per_site) {
+    std::printf("  %s:%d", site.c_str(), n);
+  }
+  std::printf("\ncost: %.0fx cheaper than vanilla 10 us MD\n",
+              production.cost.reduction_vs_vanilla);
+
+  std::printf("\nscience result — error decomposition:\n");
+  std::printf("  kappa     v    sigma_stat  sigma_sys\n");
+  for (const auto& s : production.sweep.scores) {
+    std::printf("  %5.0f  %5.1f  %9.3f  %9.3f\n", s.kappa_pn, s.velocity_ns, s.sigma_stat,
+                s.sigma_sys);
+  }
+  std::printf("\nparameter selection:\n");
+  for (const auto& line : production.optimal.rationale) std::printf("  %s\n", line.c_str());
+  std::printf("OPTIMAL: kappa = %.0f pN/A, v = %.1f A/ns\n",
+              production.optimal.best.kappa_pn, production.optimal.best.velocity_ns);
+  return 0;
+}

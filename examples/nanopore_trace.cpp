@@ -1,0 +1,62 @@
+// Nanopore current trace — the experimental observable (§I refs) on the
+// simulated system: drive the strand through the pore with the
+// transmembrane field, record the ionic current, and detect the blockade
+// event exactly like the single-channel recordings that motivated SPICE.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "pore/current.hpp"
+#include "pore/system.hpp"
+#include "viz/series_writer.hpp"
+
+using namespace spice;
+
+int main() {
+  pore::TranslocationConfig config;
+  config.dna.nucleotides = 6;
+  config.head_z = -6.0;
+  config.pore.voltage_mv = 6000.0;  // exaggerated so the event fits in ~1 ns
+  config.pore.affinity = 0.5;
+  config.pore.site_amplitude = 0.4;
+  config.equilibration_steps = 500;
+  config.md.seed = 11;
+  pore::TranslocationSystem system = pore::build_translocation_system(config);
+
+  pore::CurrentModelParams current;
+  current.voltage_mv = config.pore.voltage_mv;
+  const double open = pore::open_pore_current(system.pore->profile(), current);
+  constexpr double kBlockingRadius = 4.5;
+
+  std::printf("open-pore current: %.2f (arb. units) at %.0f mV\n", open,
+              current.voltage_mv);
+  std::printf("recording trace while the field drives the strand through...\n\n");
+
+  std::vector<double> trace;
+  viz::Table table({"time_ps", "head_z_A", "I_over_I0"});
+  for (int chunk = 0; chunk < 200; ++chunk) {
+    system.engine.step(400);
+    const double i = pore::ionic_current(system.pore->profile(),
+                                         system.engine.positions(), kBlockingRadius,
+                                         current);
+    trace.push_back(i);
+    if (chunk % 20 == 0) {
+      table.add_row({system.engine.time(), system.engine.positions()[0].z, i / open});
+    }
+  }
+  table.write_pretty(std::cout, 3);
+
+  const auto events = pore::detect_blockade_events(trace, open, 0.90, 3);
+  std::printf("\ndetected %zu blockade event(s):\n", events.size());
+  const double ps_per_sample = 400 * config.md.dt;
+  for (const auto& e : events) {
+    std::printf("  samples [%zu, %zu): dwell %.0f ps, mean I/I0 %.2f, deepest %.2f\n",
+                e.start_index, e.end_index, e.dwell_samples * ps_per_sample,
+                e.mean_blockade, e.min_blockade);
+  }
+  if (events.empty()) {
+    std::printf("  (none — try a different seed or a higher voltage)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Parameter optimization walkthrough: how SPICE decides which (κ, v) to
+// trust, plus the paper's §IV-A sub-trajectory decomposition — one long
+// pull split into 10 Å segments whose PMFs are JE-estimated independently
+// and stitched back together.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "fe/error_analysis.hpp"
+#include "fe/pmf.hpp"
+#include "pore/system.hpp"
+#include "smd/pulling.hpp"
+#include "spice/campaign.hpp"
+#include "spice/optimizer.hpp"
+#include "viz/series_writer.hpp"
+
+using namespace spice;
+
+int main() {
+  // --- a reduced kappa x v scan ------------------------------------------------
+  core::SweepConfig config;
+  config.kappas_pn = {10.0, 100.0, 1000.0};
+  config.velocities_ns = {50.0, 200.0};
+  config.samples_at_slowest = 4;
+  config.grid_points = 9;
+  config.pull_distance = 6.0;
+  config.bootstrap_resamples = 32;
+  config.seed = 11;
+
+  std::printf("running %zu x %zu parameter scan (samples ~ v, equal compute)...\n",
+              config.kappas_pn.size(), config.velocities_ns.size());
+  const core::SweepResult sweep = core::run_parameter_sweep(config, true);
+
+  viz::Table table({"kappa_pN_A", "v_A_ns", "samples", "sigma_stat", "sigma_sys",
+                    "combined"});
+  for (const auto& s : sweep.scores) {
+    table.add_row({s.kappa_pn, s.velocity_ns, static_cast<double>(s.samples), s.sigma_stat,
+                   s.sigma_sys, s.combined()});
+  }
+  table.write_pretty(std::cout, 3);
+
+  const core::OptimizerReport choice = core::select_optimal_parameters(sweep.scores);
+  std::printf("\ndecision trail:\n");
+  for (const auto& line : choice.rationale) std::printf("  %s\n", line.c_str());
+  std::printf("chosen: kappa = %.0f pN/A, v = %.1f A/ns\n\n", choice.best.kappa_pn,
+              choice.best.velocity_ns);
+
+  // --- sub-trajectory decomposition (§IV-A) ------------------------------------
+  std::printf("sub-trajectory decomposition: one 8 A pull -> 2 x 4 A segments\n");
+  pore::TranslocationConfig system_config;
+  system_config.equilibration_steps = 1500;
+  system_config.md.seed = 23;
+  const pore::TranslocationSystem master = pore::build_translocation_system(system_config);
+
+  std::vector<smd::PullResult> pulls;
+  for (int replica = 0; replica < 6; ++replica) {
+    md::Engine engine = master.engine.clone(500 + replica);
+    smd::SmdParams params;
+    params.spring_pn_per_angstrom = choice.best.kappa_pn;
+    params.velocity_angstrom_per_ns = 200.0;
+    params.smd_atoms = {0};
+    auto pull = std::make_shared<smd::ConstantVelocityPull>(params);
+    pull->attach(engine);
+    engine.add_contribution(pull);
+    pulls.push_back(smd::run_pull(engine, *pull, 8.0));
+  }
+
+  const auto segments = fe::split_subtrajectories(pulls, 4.0, 2, 9);
+  std::vector<fe::PmfEstimate> parts;
+  for (const auto& segment : segments) {
+    parts.push_back(fe::estimate_pmf(segment, 300.0, fe::Estimator::Exponential));
+  }
+  const fe::PmfEstimate stitched = fe::stitch_segments(parts);
+  const fe::PmfEstimate direct = fe::estimate_pmf(fe::grid_work_ensemble(pulls, 8.0, 17),
+                                                  300.0, fe::Estimator::Exponential);
+
+  viz::Table pmf_table({"lambda_A", "stitched_phi", "direct_phi"});
+  for (std::size_t g = 0; g < stitched.lambda.size(); g += 2) {
+    pmf_table.add_row({stitched.lambda[g], stitched.phi[g],
+                       fe::pmf_at(direct, stitched.lambda[g])});
+  }
+  pmf_table.write_pretty(std::cout, 2);
+  std::printf("(segment-wise JE + stitching tracks the direct estimate; segments keep\n"
+              " each JE average in its reliable low-dissipation regime, §IV-A)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#pragma once
+// Error handling for the SPICE library.
+//
+// Library code throws spice::Error (or a subclass) for precondition and
+// invariant violations; simulation-level "expected" failures (a grid job
+// failing, a packet dropping) are modelled as values, never exceptions.
+
+#include <stdexcept>
+#include <string>
+
+namespace spice {
+
+/// Base class for all errors thrown by the SPICE library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated (a bug in the library).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                          std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+[[noreturn]] inline void ensure_failed(const char* cond, const char* file, int line,
+                                       const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + cond + " at " + file + ":" +
+                       std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace spice
+
+/// Check a caller-facing precondition; throws spice::PreconditionError.
+#define SPICE_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::spice::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Check an internal invariant; throws spice::InvariantError.
+#define SPICE_ENSURE(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) ::spice::detail::ensure_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal leveled logging. Off (Warn) by default so benches and tests stay
+// quiet; examples turn on Info to narrate the pipeline phases.
+
+#include <sstream>
+#include <string>
+
+namespace spice {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global log threshold. Thread-safe (atomic).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a log line (used by the SPICE_LOG macro; rarely called directly).
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace spice
+
+#define SPICE_LOG(level, expr)                                        \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::spice::log_level())) { \
+      std::ostringstream spice_log_os;                                \
+      spice_log_os << expr;                                           \
+      ::spice::log_message(level, spice_log_os.str());                \
+    }                                                                 \
+  } while (0)
+
+#define SPICE_DEBUG(expr) SPICE_LOG(::spice::LogLevel::Debug, expr)
+#define SPICE_INFO(expr) SPICE_LOG(::spice::LogLevel::Info, expr)
+#define SPICE_WARN(expr) SPICE_LOG(::spice::LogLevel::Warn, expr)
+#define SPICE_ERROR(expr) SPICE_LOG(::spice::LogLevel::Error, expr)

@@ -1,0 +1,160 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spice {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const {
+  return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double mean(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double variance(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.variance();
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double p) {
+  SPICE_REQUIRE(!xs.empty(), "percentile of empty sample");
+  SPICE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double log_sum_exp(std::span<const double> xs) {
+  SPICE_REQUIRE(!xs.empty(), "log_sum_exp of empty sample");
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;  // all -inf (or a +inf/NaN dominates)
+  double acc = 0.0;
+  for (double x : xs) acc += std::exp(x - m);
+  return m + std::log(acc);
+}
+
+double log_mean_exp(std::span<const double> xs) {
+  return log_sum_exp(xs) - std::log(static_cast<double>(xs.size()));
+}
+
+double bootstrap_std_error(std::span<const double> xs, BootstrapStatistic statistic,
+                           std::size_t resamples, Rng& rng) {
+  SPICE_REQUIRE(!xs.empty(), "bootstrap of empty sample");
+  SPICE_REQUIRE(resamples >= 2, "bootstrap needs at least 2 resamples");
+  std::vector<double> resample(xs.size());
+  RunningStats stats;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& value : resample) value = xs[rng.uniform_index(xs.size())];
+    stats.add(statistic(resample));
+  }
+  return stats.stddev();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins) {
+  SPICE_REQUIRE(hi > lo, "histogram needs hi > lo");
+  SPICE_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                          static_cast<double>(counts_.size()));
+  counts_[std::min(i, counts_.size() - 1)] += weight;
+}
+
+double Histogram::bin_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  SPICE_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+double integrated_autocorrelation_time(std::span<const double> xs) {
+  SPICE_REQUIRE(xs.size() >= 4, "autocorrelation needs at least 4 samples");
+  const double mu = mean(xs);
+  const double var = variance(xs);
+  if (var <= 0.0) return 0.5;
+  const std::size_t n = xs.size();
+  double tau = 0.5;
+  // Sokal automatic windowing: stop once the window exceeds c·τ.
+  constexpr double kWindowFactor = 6.0;
+  for (std::size_t t = 1; t < n / 2; ++t) {
+    double c = 0.0;
+    for (std::size_t i = 0; i + t < n; ++i) c += (xs[i] - mu) * (xs[i + t] - mu);
+    c /= static_cast<double>(n - t) * var;
+    tau += c;
+    if (static_cast<double>(t) >= kWindowFactor * tau) break;
+  }
+  return std::max(tau, 0.5);
+}
+
+}  // namespace spice

@@ -1,0 +1,93 @@
+#pragma once
+// Statistics utilities shared by the free-energy analysis (src/fe) and the
+// grid/network simulators (src/grid, src/net): running moments, bootstrap
+// resampling, histograms, autocorrelation, and log-sum-exp helpers.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spice {
+
+class Rng;
+
+/// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double std_error() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// p-th percentile (0 ≤ p ≤ 100) by linear interpolation of the sorted
+/// sample. Requires a non-empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// log(Σ exp(xᵢ)) computed without overflow. Requires non-empty input.
+[[nodiscard]] double log_sum_exp(std::span<const double> xs);
+
+/// log( (1/N) Σ exp(xᵢ) ).
+[[nodiscard]] double log_mean_exp(std::span<const double> xs);
+
+/// A statistic mapped over a bootstrap resample: given the resampled
+/// values, return the statistic of interest.
+using BootstrapStatistic = double (*)(std::span<const double>);
+
+/// Bootstrap standard error of `statistic` over `xs` with `resamples`
+/// resamples drawn using `rng`. Requires xs non-empty and resamples ≥ 2.
+[[nodiscard]] double bootstrap_std_error(std::span<const double> xs, BootstrapStatistic statistic,
+                                         std::size_t resamples, Rng& rng);
+
+/// Fixed-range histogram with under/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_width() const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+  [[nodiscard]] double total_weight() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Integrated autocorrelation time estimate (windowed sum of normalized
+/// autocorrelation, Sokal-style auto window). Returns 0.5 for white noise
+/// by convention τ_int = 1/2 + Σ ρ(t). Requires at least 4 samples.
+[[nodiscard]] double integrated_autocorrelation_time(std::span<const double> xs);
+
+}  // namespace spice

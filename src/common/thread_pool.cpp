@@ -1,0 +1,94 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace spice {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    try {
+      (*task.fn)(task.begin, task.end);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --outstanding_;
+      if (outstanding_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  if (chunks == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  // Static partition: chunk i gets base (+1 for the first `extra` chunks).
+  std::vector<Task> tasks;
+  tasks.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    tasks.push_back(Task{&fn, begin, begin + len});
+    begin += len;
+  }
+  // Last chunk runs on the caller; the rest go to the pool.
+  {
+    std::lock_guard lock(mutex_);
+    first_error_ = nullptr;
+    outstanding_ += chunks - 1;
+    for (std::size_t i = 0; i + 1 < chunks; ++i) queue_.push_back(tasks[i]);
+  }
+  work_ready_.notify_all();
+  const Task& mine = tasks.back();
+  try {
+    fn(mine.begin, mine.end);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [this] { return outstanding_ == 0; });
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace spice

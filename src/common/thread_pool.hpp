@@ -1,0 +1,57 @@
+#pragma once
+// A small fixed-size thread pool with a parallel_for primitive.
+//
+// The MD engine partitions force evaluation into contiguous index ranges
+// (one per worker) in the style of an OpenMP static schedule; determinism
+// is preserved because per-range results are reduced in range order, not
+// completion order, and RNG streams are keyed by particle index rather
+// than worker id.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spice {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `workers` threads. 0 means hardware_concurrency
+  /// (at least 1). The pool may also be used inline: run(1 range) executes
+  /// on the caller when only one range is requested.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Execute fn(begin, end) over [0, n) split into one contiguous range per
+  /// worker (plus the caller). Blocks until every range completes. Ranges
+  /// are deterministic functions of (n, worker_count). Exceptions thrown by
+  /// fn are rethrown on the caller (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> queue_;
+  std::size_t outstanding_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace spice

@@ -1,0 +1,64 @@
+#pragma once
+// Unit system and physical constants.
+//
+// Internal units (the "AKMA-like" set common in biomolecular MD):
+//   length  : angstrom (Å)
+//   time    : picosecond (ps)
+//   energy  : kcal/mol
+//   mass    : g/mol (amu)
+//   charge  : elementary charge (e)
+//   temperature : kelvin
+//
+// Derived:
+//   force        : kcal/mol/Å
+//   spring const : kcal/mol/Å²
+//   velocity     : Å/ps
+//
+// The paper quotes SMD parameters in pN/Å (spring constant) and Å/ns
+// (pulling velocity); the conversion helpers below are the single source
+// of truth for moving between the paper's units and internal units.
+
+namespace spice::units {
+
+/// Boltzmann constant in kcal/(mol·K).
+inline constexpr double kB = 0.0019872041;
+
+/// Conversion: 1 kcal/mol/Å of force expressed in piconewtons.
+/// 1 kcal/mol = 6.9477e-21 J; 1 Å = 1e-10 m → 6.9477e-11 N = 69.477 pN.
+inline constexpr double kPicoNewtonPerKcalMolAngstrom = 69.4786;
+
+/// Coulomb constant in kcal·Å/(mol·e²): k_e e²/Å in kcal/mol.
+inline constexpr double kCoulomb = 332.0637;
+
+/// Convert a spring constant given in pN/Å (paper units) to kcal/mol/Å².
+[[nodiscard]] constexpr double spring_pn_per_angstrom(double k_pn) {
+  return k_pn / kPicoNewtonPerKcalMolAngstrom;
+}
+
+/// Convert a spring constant in internal units back to pN/Å.
+[[nodiscard]] constexpr double spring_to_pn_per_angstrom(double k_internal) {
+  return k_internal * kPicoNewtonPerKcalMolAngstrom;
+}
+
+/// Convert a pulling velocity given in Å/ns (paper units) to Å/ps.
+[[nodiscard]] constexpr double velocity_angstrom_per_ns(double v_ns) { return v_ns * 1e-3; }
+
+/// Convert a velocity in internal units (Å/ps) back to Å/ns.
+[[nodiscard]] constexpr double velocity_to_angstrom_per_ns(double v_internal) {
+  return v_internal * 1e3;
+}
+
+/// Convert a force in internal units (kcal/mol/Å) to pN.
+[[nodiscard]] constexpr double force_to_pn(double f_internal) {
+  return f_internal * kPicoNewtonPerKcalMolAngstrom;
+}
+
+/// Thermal energy kT in kcal/mol at temperature T (kelvin).
+[[nodiscard]] constexpr double kT(double temperature_k) { return kB * temperature_k; }
+
+/// Convert a transmembrane voltage in millivolts to the energy (kcal/mol)
+/// gained by one elementary charge crossing it: e·V.
+/// 1 mV × e = 1.602e-22 J/particle = 96.485 J/mol = 0.0230605 kcal/mol.
+[[nodiscard]] constexpr double voltage_mv_to_kcal_per_e(double mv) { return mv * 0.0230605; }
+
+}  // namespace spice::units

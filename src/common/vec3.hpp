@@ -1,0 +1,80 @@
+#pragma once
+// Small fixed-size 3-vector used throughout the MD engine.
+//
+// Deliberately minimal: value type, constexpr-friendly, no SIMD intrinsics
+// (the force loops are structured so the compiler can vectorize across
+// particles instead of within a vector).
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace spice {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return (*this) *= (1.0 / s); }
+
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+};
+
+[[nodiscard]] constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+[[nodiscard]] constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+[[nodiscard]] constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+[[nodiscard]] constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+[[nodiscard]] constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+[[nodiscard]] constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+[[nodiscard]] constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+[[nodiscard]] constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+[[nodiscard]] inline double distance(const Vec3& a, const Vec3& b) {
+  return (a - b).norm();
+}
+[[nodiscard]] constexpr double distance2(const Vec3& a, const Vec3& b) {
+  return (a - b).norm2();
+}
+
+[[nodiscard]] constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace spice

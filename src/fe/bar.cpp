@@ -1,0 +1,144 @@
+#include "fe/bar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+
+namespace spice::fe {
+
+namespace {
+/// The BAR implicit equation residual at trial ΔF:
+///   g(ΔF) = Σ_F 1/(1+r·exp(β(W−ΔF))) − Σ_R 1/(1+(1/r)·exp(β(W̃+ΔF)))
+/// with r = n_F/n_R. The root of g is the BAR estimate.
+double bar_residual(std::span<const double> wf, std::span<const double> wr, double beta,
+                    double delta_f) {
+  const double r = static_cast<double>(wf.size()) / static_cast<double>(wr.size());
+  double lhs = 0.0;
+  for (const double w : wf) {
+    lhs += 1.0 / (1.0 + r * std::exp(beta * (w - delta_f)));
+  }
+  double rhs = 0.0;
+  for (const double w : wr) {
+    rhs += 1.0 / (1.0 + (1.0 / r) * std::exp(beta * (w + delta_f)));
+  }
+  return lhs - rhs;
+}
+}  // namespace
+
+BarResult bennett_acceptance_ratio(std::span<const double> forward_work,
+                                   std::span<const double> reverse_work,
+                                   double temperature_k) {
+  SPICE_REQUIRE(!forward_work.empty() && !reverse_work.empty(),
+                "BAR needs both forward and reverse work samples");
+  SPICE_REQUIRE(temperature_k > 0.0, "temperature must be positive");
+  const double beta = 1.0 / units::kT(temperature_k);
+
+  // Bracket the root: ΔF must lie between −max|W| − slack and +max|W| + slack.
+  double lo = -1.0;
+  double hi = 1.0;
+  for (const double w : forward_work) hi = std::max(hi, std::abs(w) + 1.0);
+  for (const double w : reverse_work) hi = std::max(hi, std::abs(w) + 1.0);
+  lo = -hi;
+
+  // g is monotone decreasing in ΔF; expand the bracket if needed.
+  BarResult result;
+  double g_lo = bar_residual(forward_work, reverse_work, beta, lo);
+  double g_hi = bar_residual(forward_work, reverse_work, beta, hi);
+  std::size_t expansions = 0;
+  while (g_lo * g_hi > 0.0 && expansions < 60) {
+    lo *= 2.0;
+    hi *= 2.0;
+    g_lo = bar_residual(forward_work, reverse_work, beta, lo);
+    g_hi = bar_residual(forward_work, reverse_work, beta, hi);
+    ++expansions;
+  }
+  if (g_lo * g_hi > 0.0) {
+    // Degenerate (e.g. zero-variance ensembles); fall back to the midpoint
+    // of mean forward and negated mean reverse work.
+    RunningStats f;
+    for (const double w : forward_work) f.add(w);
+    RunningStats r;
+    for (const double w : reverse_work) r.add(w);
+    result.delta_f = 0.5 * (f.mean() - r.mean());
+    result.converged = false;
+    return result;
+  }
+
+  for (std::size_t iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double g_mid = bar_residual(forward_work, reverse_work, beta, mid);
+    result.iterations = iter + 1;
+    if (std::abs(g_mid) < 1e-10 || hi - lo < 1e-12) {
+      result.delta_f = mid;
+      result.crossing_gap = g_mid;
+      result.converged = true;
+      return result;
+    }
+    if (g_lo * g_mid <= 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      g_lo = g_mid;
+    }
+  }
+  result.delta_f = 0.5 * (lo + hi);
+  result.crossing_gap = bar_residual(forward_work, reverse_work, beta, result.delta_f);
+  result.converged = true;
+  return result;
+}
+
+double crooks_gaussian_crossing(std::span<const double> forward_work,
+                                std::span<const double> reverse_work) {
+  SPICE_REQUIRE(forward_work.size() >= 2 && reverse_work.size() >= 2,
+                "Crooks crossing needs ≥2 samples per direction");
+  RunningStats f;
+  for (const double w : forward_work) f.add(w);
+  RunningStats r;
+  for (const double w : reverse_work) r.add(-w);  // negated reverse works
+
+  const double mu1 = f.mean();
+  const double mu2 = r.mean();
+  const double s1 = std::max(f.stddev(), 1e-9);
+  const double s2 = std::max(r.stddev(), 1e-9);
+
+  // Crossing of two Gaussians: solve (x−μ1)²/s1² − (x−μ2)²/s2² = 2 ln(s2/s1).
+  if (std::abs(s1 - s2) < 1e-12) {
+    return 0.5 * (mu1 + mu2);
+  }
+  const double a = 1.0 / (s1 * s1) - 1.0 / (s2 * s2);
+  const double b = -2.0 * (mu1 / (s1 * s1) - mu2 / (s2 * s2));
+  const double c =
+      mu1 * mu1 / (s1 * s1) - mu2 * mu2 / (s2 * s2) - 2.0 * std::log(s2 / s1);
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return 0.5 * (mu1 + mu2);
+  const double root1 = (-b + std::sqrt(disc)) / (2.0 * a);
+  const double root2 = (-b - std::sqrt(disc)) / (2.0 * a);
+  // Choose the root between the means (the physical crossing).
+  const double lo = std::min(mu1, mu2);
+  const double hi = std::max(mu1, mu2);
+  if (root1 >= lo && root1 <= hi) return root1;
+  if (root2 >= lo && root2 <= hi) return root2;
+  return 0.5 * (mu1 + mu2);
+}
+
+double work_distribution_overlap(std::span<const double> forward_work,
+                                 std::span<const double> reverse_work) {
+  SPICE_REQUIRE(forward_work.size() >= 2 && reverse_work.size() >= 2,
+                "overlap needs ≥2 samples per direction");
+  RunningStats f;
+  for (const double w : forward_work) f.add(w);
+  RunningStats r;
+  for (const double w : reverse_work) r.add(-w);
+  const double v1 = std::max(f.variance(), 1e-12);
+  const double v2 = std::max(r.variance(), 1e-12);
+  const double dmu = f.mean() - r.mean();
+  // Bhattacharyya coefficient for two Gaussians.
+  const double bc = std::sqrt(2.0 * std::sqrt(v1 * v2) / (v1 + v2)) *
+                    std::exp(-dmu * dmu / (4.0 * (v1 + v2)));
+  return bc;
+}
+
+}  // namespace spice::fe

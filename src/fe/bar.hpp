@@ -1,0 +1,54 @@
+#pragma once
+// Bidirectional free-energy estimation: the Crooks fluctuation theorem and
+// the Bennett acceptance ratio (BAR).
+//
+// Jarzynski's equality uses forward pulls only; its exponential average is
+// dominated by rare low-work trajectories. When reverse pulls are also
+// available (pulling the strand back up the pore), Crooks' theorem
+//
+//     P_F(W) / P_R(−W) = exp(β (W − ΔF))
+//
+// pins ΔF at the crossing of the forward and reverse work distributions,
+// and BAR is the provably minimum-variance estimator built on it:
+//
+//     Σ_F f(β(W_i − C)) = Σ_R f(β(W̃_j + C)),   f(x) = 1/(1+ (n_F/n_R) eˣ)
+//     ΔF = C + kT ln(n_F / n_R) ... (solved self-consistently; we use the
+//     standard bisection on the BAR implicit equation).
+//
+// This module is a natural extension of the paper's SMD-JE machinery (the
+// same infrastructure runs reverse pulls as just another batch of grid
+// jobs) and is exercised by bench/ablation_estimators.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spice::fe {
+
+struct BarResult {
+  double delta_f = 0.0;      ///< kcal/mol
+  double crossing_gap = 0.0; ///< residual of the implicit equation at the root
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// BAR estimate of ΔF from forward works (0 → λ) and reverse works
+/// (λ → 0, each the work of the reverse protocol, NOT negated).
+/// Requires both ensembles non-empty.
+[[nodiscard]] BarResult bennett_acceptance_ratio(std::span<const double> forward_work,
+                                                 std::span<const double> reverse_work,
+                                                 double temperature_k);
+
+/// Crooks-crossing estimate: ΔF is where the forward work histogram
+/// crosses the negated-reverse histogram. Coarser than BAR but model-free;
+/// returns the crossing of Gaussian fits (robust for small samples).
+[[nodiscard]] double crooks_gaussian_crossing(std::span<const double> forward_work,
+                                              std::span<const double> reverse_work);
+
+/// Diagnostic: the overlap of forward and negated-reverse work samples
+/// (Bhattacharyya coefficient of Gaussian fits, 1 = perfect overlap).
+/// Low overlap warns that both JE and BAR are extrapolating.
+[[nodiscard]] double work_distribution_overlap(std::span<const double> forward_work,
+                                               std::span<const double> reverse_work);
+
+}  // namespace spice::fe

@@ -1,0 +1,145 @@
+#include "fe/jarzynski.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+
+namespace spice::fe {
+
+namespace {
+/// Interpolate a pull's work at anchor displacement `lambda`.
+double work_at_lambda(const spice::smd::PullResult& pull, double lambda) {
+  const auto& s = pull.samples;
+  SPICE_REQUIRE(!s.empty(), "pull has no samples");
+  if (lambda <= s.front().lambda) return s.front().work;
+  SPICE_REQUIRE(lambda <= s.back().lambda + 1e-9,
+                "pull did not reach the requested lambda");
+  // Samples are time-ordered and λ is monotone in time.
+  const auto it = std::lower_bound(
+      s.begin(), s.end(), lambda,
+      [](const spice::smd::PullSample& a, double value) { return a.lambda < value; });
+  if (it == s.begin()) return it->work;
+  if (it == s.end()) return s.back().work;
+  const auto prev = it - 1;
+  const double span = it->lambda - prev->lambda;
+  if (span <= 0.0) return it->work;
+  const double t = (lambda - prev->lambda) / span;
+  return prev->work * (1.0 - t) + it->work * t;
+}
+}  // namespace
+
+namespace {
+/// Replace each sample's work with the trapezoidal integral of the
+/// recorded spring force: W(t_k) = Σ ½(F_i + F_{i+1})·v·(t_{i+1} − t_i).
+spice::smd::PullResult reintegrate_from_force(const spice::smd::PullResult& pull,
+                                              double velocity) {
+  spice::smd::PullResult out = pull;
+  double w = 0.0;
+  for (std::size_t i = 1; i < out.samples.size(); ++i) {
+    const auto& prev = out.samples[i - 1];
+    auto& cur = out.samples[i];
+    w += 0.5 * (prev.force + cur.force) * velocity * (cur.time - prev.time);
+    cur.work = w;
+  }
+  if (!out.samples.empty()) out.samples.front().work = 0.0;
+  return out;
+}
+}  // namespace
+
+WorkEnsemble grid_work_ensemble(std::span<const spice::smd::PullResult> pulls, double lambda_max,
+                                std::size_t points, WorkSource source) {
+  SPICE_REQUIRE(!pulls.empty(), "work ensemble needs at least one pull");
+  SPICE_REQUIRE(lambda_max > 0.0, "lambda_max must be positive");
+  SPICE_REQUIRE(points >= 2, "grid needs at least two points");
+
+  WorkEnsemble ensemble;
+  ensemble.lambda.resize(points);
+  for (std::size_t g = 0; g < points; ++g) {
+    ensemble.lambda[g] = lambda_max * static_cast<double>(g) / static_cast<double>(points - 1);
+  }
+  ensemble.work.reserve(pulls.size());
+  for (const auto& pull : pulls) {
+    std::vector<double> w(points);
+    if (source == WorkSource::SampledForce) {
+      SPICE_REQUIRE(pull.samples.size() >= 2, "sampled-force work needs ≥ 2 samples");
+      const double duration = pull.samples.back().time - pull.samples.front().time;
+      SPICE_REQUIRE(duration > 0.0, "pull has zero duration");
+      const double velocity = pull.pulled_distance / duration;
+      const spice::smd::PullResult reintegrated = reintegrate_from_force(pull, velocity);
+      for (std::size_t g = 0; g < points; ++g) {
+        w[g] = work_at_lambda(reintegrated, ensemble.lambda[g]);
+      }
+    } else {
+      for (std::size_t g = 0; g < points; ++g) w[g] = work_at_lambda(pull, ensemble.lambda[g]);
+    }
+    ensemble.work.push_back(std::move(w));
+  }
+  return ensemble;
+}
+
+PmfEstimate estimate_pmf(const WorkEnsemble& ensemble, double temperature_k,
+                         Estimator estimator) {
+  SPICE_REQUIRE(ensemble.trajectories() > 0, "empty work ensemble");
+  SPICE_REQUIRE(temperature_k > 0.0, "temperature must be positive");
+  const double kt = units::kT(temperature_k);
+  const double beta = 1.0 / kt;
+
+  PmfEstimate out;
+  out.lambda = ensemble.lambda;
+  out.phi.resize(ensemble.grid_points());
+
+  std::vector<double> column(ensemble.trajectories());
+  for (std::size_t g = 0; g < ensemble.grid_points(); ++g) {
+    for (std::size_t t = 0; t < ensemble.trajectories(); ++t) {
+      column[t] = ensemble.work[t][g];
+    }
+    switch (estimator) {
+      case Estimator::Exponential: {
+        // −kT ln ⟨exp(−βW)⟩ via log-mean-exp for numerical stability.
+        std::vector<double> neg_beta_w(column.size());
+        for (std::size_t t = 0; t < column.size(); ++t) neg_beta_w[t] = -beta * column[t];
+        out.phi[g] = -kt * log_mean_exp(neg_beta_w);
+        break;
+      }
+      case Estimator::FirstCumulant:
+        out.phi[g] = mean(column);
+        break;
+      case Estimator::SecondCumulant:
+        out.phi[g] = mean(column) - 0.5 * beta * variance(column);
+        break;
+    }
+  }
+  return out;
+}
+
+double mean_dissipated_work(const WorkEnsemble& ensemble, double temperature_k) {
+  SPICE_REQUIRE(ensemble.grid_points() > 0, "empty work ensemble");
+  const std::size_t last = ensemble.grid_points() - 1;
+  std::vector<double> final_work(ensemble.trajectories());
+  for (std::size_t t = 0; t < ensemble.trajectories(); ++t) {
+    final_work[t] = ensemble.work[t][last];
+  }
+  const PmfEstimate je = estimate_pmf(ensemble, temperature_k, Estimator::Exponential);
+  return mean(final_work) - je.phi[last];
+}
+
+PmfEstimate stiff_spring_correction(const PmfEstimate& f_lambda, double kappa) {
+  SPICE_REQUIRE(kappa > 0.0, "spring constant must be positive");
+  SPICE_REQUIRE(f_lambda.lambda.size() >= 3, "correction needs at least 3 grid points");
+  PmfEstimate out = f_lambda;
+  const std::size_t n = f_lambda.lambda.size();
+  for (std::size_t g = 0; g < n; ++g) {
+    // Central finite difference for dF/dλ (one-sided at the ends).
+    const std::size_t lo = g == 0 ? 0 : g - 1;
+    const std::size_t hi = g + 1 == n ? g : g + 1;
+    const double df = (f_lambda.phi[hi] - f_lambda.phi[lo]) /
+                      (f_lambda.lambda[hi] - f_lambda.lambda[lo]);
+    out.phi[g] = f_lambda.phi[g] - df * df / (2.0 * kappa);
+  }
+  return out;
+}
+
+}  // namespace spice::fe

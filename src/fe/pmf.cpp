@@ -1,0 +1,78 @@
+#include "fe/pmf.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spice::fe {
+
+double pmf_at(const PmfEstimate& pmf, double x) {
+  SPICE_REQUIRE(pmf.lambda.size() >= 2, "pmf_at needs at least two points");
+  const auto& xs = pmf.lambda;
+  if (x <= xs.front()) return pmf.phi.front();
+  if (x >= xs.back()) return pmf.phi.back();
+  const auto it = std::lower_bound(xs.begin(), xs.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return pmf.phi[lo] * (1.0 - t) + pmf.phi[hi] * t;
+}
+
+void shift_pmf(PmfEstimate& pmf, double x) {
+  const double offset = pmf_at(pmf, x);
+  for (auto& v : pmf.phi) v -= offset;
+}
+
+PmfEstimate stitch_segments(std::span<const PmfEstimate> segments) {
+  SPICE_REQUIRE(!segments.empty(), "no segments to stitch");
+  PmfEstimate out;
+  double lambda_offset = 0.0;
+  double phi_offset = 0.0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto& seg = segments[s];
+    SPICE_REQUIRE(seg.lambda.size() >= 2, "segment needs at least two points");
+    const double local_phi0 = seg.phi.front();
+    for (std::size_t g = 0; g < seg.lambda.size(); ++g) {
+      if (s > 0 && g == 0) continue;  // boundary point already emitted
+      out.lambda.push_back(lambda_offset + seg.lambda[g] - seg.lambda.front());
+      out.phi.push_back(phi_offset + seg.phi[g] - local_phi0);
+    }
+    lambda_offset += seg.lambda.back() - seg.lambda.front();
+    phi_offset += seg.phi.back() - local_phi0;
+  }
+  return out;
+}
+
+std::vector<WorkEnsemble> split_subtrajectories(std::span<const spice::smd::PullResult> pulls,
+                                                double segment_length, std::size_t segments,
+                                                std::size_t points_per_segment) {
+  SPICE_REQUIRE(segment_length > 0.0, "segment length must be positive");
+  SPICE_REQUIRE(segments > 0, "need at least one segment");
+  SPICE_REQUIRE(points_per_segment >= 2, "need at least two points per segment");
+
+  // Build a full-length grid, then re-zero work at each segment start.
+  const double total = segment_length * static_cast<double>(segments);
+  const std::size_t total_points = (points_per_segment - 1) * segments + 1;
+  const WorkEnsemble full = grid_work_ensemble(pulls, total, total_points);
+
+  std::vector<WorkEnsemble> out(segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    WorkEnsemble& e = out[s];
+    const std::size_t base = s * (points_per_segment - 1);
+    e.lambda.resize(points_per_segment);
+    for (std::size_t g = 0; g < points_per_segment; ++g) {
+      e.lambda[g] = full.lambda[base + g] - full.lambda[base];
+    }
+    e.work.reserve(full.trajectories());
+    for (const auto& w : full.work) {
+      std::vector<double> seg(points_per_segment);
+      for (std::size_t g = 0; g < points_per_segment; ++g) {
+        seg[g] = w[base + g] - w[base];
+      }
+      e.work.push_back(std::move(seg));
+    }
+  }
+  return out;
+}
+
+}  // namespace spice::fe

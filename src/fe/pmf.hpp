@@ -1,0 +1,34 @@
+#pragma once
+// PMF curve utilities: interpolation, re-anchoring, and the paper's
+// sub-trajectory decomposition ("when the PMF is required over a long
+// trajectory, it is advantageous to break up a single long trajectory into
+// smaller trajectories", §IV-A) — independent PMF segments are stitched by
+// matching values at the segment boundaries.
+
+#include <span>
+#include <vector>
+
+#include "fe/jarzynski.hpp"
+
+namespace spice::fe {
+
+/// Linear interpolation of Φ at x (clamped to the grid range).
+[[nodiscard]] double pmf_at(const PmfEstimate& pmf, double x);
+
+/// Shift the whole curve so that Φ(x) = 0.
+void shift_pmf(PmfEstimate& pmf, double x);
+
+/// Stitch consecutive PMF segments into one curve. Each segment's λ is
+/// local (starting at 0); segment i+1 is offset so its first value
+/// continues segment i's last value, and its λ axis is shifted by the
+/// accumulated length of previous segments.
+[[nodiscard]] PmfEstimate stitch_segments(std::span<const PmfEstimate> segments);
+
+/// Split one long pull into sub-trajectory work ensembles of length
+/// `segment_length` each (the paper's 10 Å choice): segment k covers
+/// λ ∈ [k·L, (k+1)·L] with work re-zeroed at the segment start.
+[[nodiscard]] std::vector<WorkEnsemble> split_subtrajectories(
+    std::span<const spice::smd::PullResult> pulls, double segment_length,
+    std::size_t segments, std::size_t points_per_segment);
+
+}  // namespace spice::fe

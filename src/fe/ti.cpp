@@ -1,0 +1,61 @@
+#include "fe/ti.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "smd/restraint.hpp"
+
+namespace spice::fe {
+
+PmfEstimate integrate_mean_force(std::span<const TiPoint> points) {
+  SPICE_REQUIRE(points.size() >= 2, "TI needs at least two points");
+  PmfEstimate pmf;
+  pmf.lambda.reserve(points.size());
+  pmf.phi.reserve(points.size());
+  pmf.lambda.push_back(points.front().lambda);
+  pmf.phi.push_back(0.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    SPICE_REQUIRE(points[i].lambda > points[i - 1].lambda, "TI points must be λ-ordered");
+    const double dx = points[i].lambda - points[i - 1].lambda;
+    const double area = 0.5 * (points[i].mean_force + points[i - 1].mean_force) * dx;
+    pmf.lambda.push_back(points[i].lambda);
+    pmf.phi.push_back(pmf.phi.back() + area);
+  }
+  return pmf;
+}
+
+TiResult run_thermodynamic_integration(spice::md::Engine& engine,
+                                       std::span<const std::uint32_t> atoms,
+                                       const Vec3& direction, const Vec3& com_reference,
+                                       const TiConfig& config) {
+  SPICE_REQUIRE(config.points >= 2, "TI needs at least two λ points");
+  SPICE_REQUIRE(config.xi_max > config.xi_min, "TI range must be non-empty");
+
+  auto restraint = std::make_shared<spice::smd::StaticRestraint>(
+      std::vector<std::uint32_t>(atoms.begin(), atoms.end()), direction, config.kappa,
+      config.xi_min);
+  restraint->attach_reference(com_reference);
+  engine.add_contribution(restraint);
+
+  TiResult result;
+  result.points.reserve(config.points);
+  for (std::size_t k = 0; k < config.points; ++k) {
+    const double lambda =
+        config.xi_min + (config.xi_max - config.xi_min) * static_cast<double>(k) /
+                            static_cast<double>(config.points - 1);
+    restraint->set_center(lambda);
+    engine.step(config.equilibration_steps);
+    restraint->reset_statistics();
+    engine.step(config.sampling_steps);
+
+    TiPoint p;
+    p.lambda = lambda;
+    p.mean_force = restraint->force_stats().mean();
+    p.mean_force_error = restraint->force_stats().std_error();
+    result.points.push_back(p);
+  }
+  result.pmf = integrate_mean_force(result.points);
+  return result;
+}
+
+}  // namespace spice::fe

@@ -1,0 +1,90 @@
+#include "grid/coscheduling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spice::grid {
+
+namespace {
+/// Peak processors reserved at `site` during [t0, t1).
+int reserved_peak(const Site& site, double t0, double t1) {
+  int peak = 0;
+  auto at = [&site](double t) {
+    int total = 0;
+    for (const auto& r : site.reservations()) {
+      if (t >= r.start && t < r.end) total += r.processors;
+    }
+    return total;
+  };
+  peak = at(t0);
+  for (const auto& r : site.reservations()) {
+    if (r.start > t0 && r.start < t1) peak = std::max(peak, at(r.start));
+  }
+  return peak;
+}
+
+bool window_feasible(const CoScheduleRequest& request, double start) {
+  for (const auto& req : request.requirements) {
+    const int peak = reserved_peak(*req.site, start, start + request.duration_hours);
+    if (peak + req.processors > req.site->spec().processors) return false;
+  }
+  return true;
+}
+}  // namespace
+
+CoScheduleOutcome find_common_window(const CoScheduleRequest& request) {
+  SPICE_REQUIRE(!request.requirements.empty(), "co-schedule request is empty");
+  SPICE_REQUIRE(request.duration_hours > 0.0, "co-schedule duration must be positive");
+  CoScheduleOutcome out;
+
+  for (const auto& req : request.requirements) {
+    SPICE_REQUIRE(req.site != nullptr, "co-schedule requirement without a site");
+    if (req.processors > req.site->spec().processors) {
+      out.infeasible_reason = "site " + req.site->name() + " smaller than requirement";
+      return out;
+    }
+    if (req.needs_lightpath && !req.site->spec().lightpath) {
+      out.infeasible_reason =
+          "site " + req.site->name() + " has no lightpath deployed (cf. paper §V-C.2)";
+      return out;
+    }
+  }
+
+  // Candidate starts: earliest_start plus every reservation end at any
+  // involved site (capacity only frees up at those instants).
+  std::vector<double> candidates{request.earliest_start};
+  for (const auto& req : request.requirements) {
+    for (const auto& r : req.site->reservations()) {
+      if (r.end > request.earliest_start &&
+          r.end <= request.earliest_start + request.horizon_hours) {
+        candidates.push_back(r.end);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  for (const double start : candidates) {
+    if (window_feasible(request, start)) {
+      out.feasible = true;
+      out.start = start;
+      return out;
+    }
+  }
+  out.infeasible_reason = "no common window within the search horizon";
+  return out;
+}
+
+CoScheduleOutcome reserve_common_window(const CoScheduleRequest& request,
+                                        const std::string& holder) {
+  const CoScheduleOutcome out = find_common_window(request);
+  if (!out.feasible) return out;
+  for (const auto& req : request.requirements) {
+    req.site->add_reservation(Reservation{out.start, out.start + request.duration_hours,
+                                          req.processors, holder});
+  }
+  return out;
+}
+
+}  // namespace spice::grid

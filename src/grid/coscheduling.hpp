@@ -1,0 +1,53 @@
+#pragma once
+// Cross-site co-scheduling: finding a common advance-reservation window.
+//
+// Interactive SPICE sessions need simulation processors at one site,
+// visualization at another, and the lightpath between them — all at the
+// same wall-clock time ("large-scale interactive computations require both
+// computational and visualization resources to be co-allocated with
+// networks of sufficient QoS", §II). This module provides the mechanical
+// part: given per-site busy calendars, find the earliest window where
+// every requirement can be reserved simultaneously.
+//
+// The *process* of obtaining those reservations (error-prone email chains
+// vs an automated HARC-like service) is modelled in grid/coordination.hpp.
+
+#include <string>
+#include <vector>
+
+#include "grid/site.hpp"
+
+namespace spice::grid {
+
+/// One resource requirement of a co-scheduled session.
+struct CoScheduleRequirement {
+  Site* site = nullptr;
+  int processors = 0;
+  bool needs_lightpath = false;  ///< site must have a lightpath deployed
+};
+
+struct CoScheduleRequest {
+  std::vector<CoScheduleRequirement> requirements;
+  double duration_hours = 4.0;
+  double earliest_start = 0.0;
+  double horizon_hours = 336.0;  ///< search window (2 weeks)
+};
+
+struct CoScheduleOutcome {
+  bool feasible = false;
+  double start = 0.0;
+  std::string infeasible_reason;
+};
+
+/// Find the earliest common window. Capacity at each site is judged
+/// against its existing reservations only (batch backfill drains around
+/// reservations, as in production schedulers). On success the caller is
+/// expected to book the window via Site::add_reservation.
+[[nodiscard]] CoScheduleOutcome find_common_window(const CoScheduleRequest& request);
+
+/// Find and immediately book the window (one reservation per site,
+/// holder-tagged). Returns the same outcome.
+CoScheduleOutcome reserve_common_window(const CoScheduleRequest& request,
+                                        const std::string& holder);
+
+}  // namespace spice::grid

@@ -1,0 +1,35 @@
+#include "grid/des.hpp"
+
+#include "common/error.hpp"
+
+namespace spice::grid {
+
+void EventQueue::at(double t, Handler handler) {
+  SPICE_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  SPICE_REQUIRE(handler != nullptr, "null event handler");
+  events_.push(Event{t, next_seq_++, std::move(handler)});
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // alternative: copy the handler. Handlers are cheap closures; copy.
+  Event e = events_.top();
+  events_.pop();
+  now_ = e.time;
+  ++processed_;
+  e.handler();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!events_.empty() && events_.top().time <= t_end) step();
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace spice::grid

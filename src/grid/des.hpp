@@ -1,0 +1,59 @@
+#pragma once
+// Discrete-event simulation core for the grid substrate.
+//
+// Time unit: hours (the natural scale of batch queues and reservations).
+// Events at equal times fire in scheduling order (a monotone sequence
+// number breaks ties), which keeps every grid simulation deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace spice::grid {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `handler` at absolute time `t` (hours). Must not be in the
+  /// past relative to now().
+  void at(double t, Handler handler);
+
+  /// Schedule after a delay from now().
+  void after(double delay, Handler handler) { at(now_ + delay, std::move(handler)); }
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Pop and run the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue empties or `t_end` passes (events beyond t_end
+  /// stay queued; now() advances to exactly t_end when it stops early).
+  void run_until(double t_end);
+
+  /// Run everything.
+  void run();
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace spice::grid

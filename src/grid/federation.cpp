@@ -1,0 +1,175 @@
+#include "grid/federation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spice::grid {
+
+Site& Federation::add_site(const SiteSpec& spec) {
+  SPICE_REQUIRE(find(spec.name) == nullptr, "duplicate site name: " + spec.name);
+  sites_.push_back(std::make_unique<Site>(spec, events_));
+  Site& site = *sites_.back();
+  site.set_completion_handler([this](const Job& job) {
+    for (const auto& listener : listeners_) listener(job);
+  });
+  return site;
+}
+
+Site* Federation::find(const std::string& name) {
+  for (const auto& s : sites_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<Site*> Federation::sites_in_grid(const std::string& grid) {
+  std::vector<Site*> out;
+  for (const auto& s : sites_) {
+    if (s->spec().grid == grid) out.push_back(s.get());
+  }
+  return out;
+}
+
+int Federation::total_processors() const {
+  int total = 0;
+  for (const auto& s : sites_) total += s->spec().processors;
+  return total;
+}
+
+Broker::Broker(Federation& federation, CampaignConfig config)
+    : federation_(federation), config_(std::move(config)) {
+  SPICE_REQUIRE(!config_.jobs.empty(), "campaign has no jobs");
+  federation_.add_listener([this](const Job& job) { on_job_done(job); });
+}
+
+void Broker::submit_all() {
+  SPICE_REQUIRE(!submitted_, "campaign already submitted");
+  submitted_ = true;
+  result_.submit_time = federation_.events().now();
+  outstanding_ = config_.jobs.size();
+  for (auto& job : config_.jobs) {
+    job.kind = JobKind::Campaign;
+    dispatch(job, "");
+  }
+}
+
+Site* Broker::choose_site(const Job& job, const std::string& exclude) {
+  std::vector<Site*> usable;
+  for (const auto& s : federation_.sites()) {
+    if (s->name() == exclude) continue;
+    if (s->in_outage()) continue;
+    if (!s->spec().grid_enabled) continue;
+    if (job.processors > s->spec().processors) continue;
+    if (!config_.restrict_grid.empty() && s->spec().grid != config_.restrict_grid) continue;
+    if (config_.policy == BrokerPolicy::SingleSite && s->name() != config_.single_site) continue;
+    usable.push_back(s.get());
+  }
+  if (usable.empty()) return nullptr;
+  switch (config_.policy) {
+    case BrokerPolicy::SingleSite:
+      return usable.front();
+    case BrokerPolicy::RoundRobin:
+      return usable[round_robin_next_++ % usable.size()];
+    case BrokerPolicy::LeastBacklog: {
+      Site* best = nullptr;
+      double best_load = std::numeric_limits<double>::infinity();
+      for (Site* s : usable) {
+        // Queued work per processor, scaled by speed so faster machines
+        // look cheaper for the same backlog.
+        const double load = (s->backlog_hours() + job.runtime_hours * job.processors /
+                                                      s->spec().processors) /
+                            s->spec().speed;
+        if (load < best_load) {
+          best_load = load;
+          best = s;
+        }
+      }
+      return best;
+    }
+  }
+  return usable.front();
+}
+
+void Broker::dispatch(Job job, const std::string& exclude) {
+  Site* site = choose_site(job, exclude);
+  if (site == nullptr) {
+    job.state = JobState::Failed;
+    job.end_time = federation_.events().now();
+    result_.failed += 1;
+    result_.finished_jobs.push_back(std::move(job));
+    SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
+    --outstanding_;
+    return;
+  }
+  site->submit(std::move(job));
+}
+
+void Broker::on_job_done(const Job& job) {
+  if (job.kind != JobKind::Campaign) return;
+  if (job.state == JobState::Completed) {
+    SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
+    --outstanding_;
+    result_.completed += 1;
+    result_.total_cpu_hours += job.processors * (job.end_time - job.start_time);
+    result_.jobs_per_site[job.site] += 1;
+    result_.finished_jobs.push_back(job);
+    const double wait = job.wait_hours();
+    result_.mean_wait_hours += wait;  // finalized in result()
+    result_.max_wait_hours = std::max(result_.max_wait_hours, wait);
+    result_.makespan_hours = job.end_time - result_.submit_time;
+    return;
+  }
+  // Failed: requeue elsewhere if budget remains.
+  Job retry = job;
+  if (retry.requeues >= config_.max_requeues) {
+    SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
+    --outstanding_;
+    result_.failed += 1;
+    result_.finished_jobs.push_back(retry);
+    return;
+  }
+  retry.requeues += 1;
+  retry.state = JobState::Pending;
+  const std::string failed_site = retry.site;
+  // Small administrative delay before resubmission.
+  federation_.events().after(0.1, [this, retry, failed_site]() mutable {
+    dispatch(std::move(retry), failed_site);
+  });
+}
+
+CampaignResult Broker::result() const {
+  SPICE_REQUIRE(done(), "campaign still in flight");
+  CampaignResult finalized = result_;
+  if (result_.completed > 0) {
+    finalized.mean_wait_hours = result_.mean_wait_hours / static_cast<double>(result_.completed);
+  }
+  return finalized;
+}
+
+void build_spice_federation(Federation& federation) {
+  // US TeraGrid nodes used by SPICE (§III, Fig. 5) with 2005-era scale.
+  federation.add_site({.name = "NCSA", .grid = "TeraGrid", .processors = 1744,
+                       .speed = 1.0, .hidden_ip = false, .lightpath = true});
+  federation.add_site({.name = "SDSC", .grid = "TeraGrid", .processors = 512,
+                       .speed = 1.0, .hidden_ip = false, .lightpath = true});
+  federation.add_site({.name = "PSC", .grid = "TeraGrid", .processors = 2048,
+                       .speed = 1.1, .hidden_ip = true, .lightpath = true});
+  // UK NGS high-end nodes ("used all nodes on the UK high-end NGS").
+  federation.add_site({.name = "Manchester", .grid = "NGS", .processors = 256,
+                       .speed = 0.9, .hidden_ip = false, .lightpath = true});
+  federation.add_site({.name = "Oxford", .grid = "NGS", .processors = 128,
+                       .speed = 0.9, .hidden_ip = false, .lightpath = false});
+  federation.add_site({.name = "Leeds", .grid = "NGS", .processors = 256,
+                       .speed = 0.9, .hidden_ip = false, .lightpath = false});
+  federation.add_site({.name = "RAL", .grid = "NGS", .processors = 128,
+                       .speed = 0.9, .hidden_ip = false, .lightpath = false});
+  // HPCx: big but never usable (§V-C.2: immature middleware deployment,
+  // hidden IP, no lightpath) — in the model, out of the broker's reach.
+  federation.add_site({.name = "HPCx", .grid = "NGS", .processors = 1600,
+                       .speed = 1.2, .hidden_ip = true, .lightpath = false,
+                       .grid_enabled = false});
+}
+
+}  // namespace spice::grid

@@ -1,0 +1,105 @@
+#pragma once
+// Federation of grids and the campaign broker.
+//
+// A Federation owns Sites (each belonging to a named grid — "TeraGrid",
+// "NGS") plus the shared event queue, and fans job-completion callbacks
+// out to listeners. The Broker dispatches a campaign of jobs across the
+// federation (the paper's 72-simulation production set), re-queueing jobs
+// that fail (e.g. in a site outage) onto other sites — exactly the
+// redundancy argument of §V-C.4.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/des.hpp"
+#include "grid/site.hpp"
+
+namespace spice::grid {
+
+class Federation {
+ public:
+  using Listener = std::function<void(const Job&)>;
+
+  explicit Federation(EventQueue& events) : events_(events) {}
+
+  Site& add_site(const SiteSpec& spec);
+
+  [[nodiscard]] Site* find(const std::string& name);
+  [[nodiscard]] const std::vector<std::unique_ptr<Site>>& sites() const { return sites_; }
+  [[nodiscard]] std::vector<Site*> sites_in_grid(const std::string& grid);
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] int total_processors() const;
+
+  /// Register a completion listener (receives every finished job from
+  /// every site, campaign and background alike).
+  void add_listener(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+ private:
+  EventQueue& events_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<Listener> listeners_;
+};
+
+enum class BrokerPolicy {
+  LeastBacklog,  ///< send each job to the usable site with the least queued work
+  RoundRobin,    ///< cycle over usable sites
+  SingleSite,    ///< everything to one named site (the no-grid baseline)
+};
+
+struct CampaignConfig {
+  std::vector<Job> jobs;
+  BrokerPolicy policy = BrokerPolicy::LeastBacklog;
+  std::string single_site;    ///< used by BrokerPolicy::SingleSite
+  std::string restrict_grid;  ///< non-empty: only sites of this grid
+                              ///< (models a US-only or UK-only allocation)
+  int max_requeues = 5;       ///< per-job failure budget before giving up
+};
+
+struct CampaignResult {
+  double submit_time = 0.0;
+  double makespan_hours = 0.0;   ///< last completion − submit time
+  double total_cpu_hours = 0.0;  ///< Σ procs × runtime over completed jobs
+  std::size_t completed = 0;
+  std::size_t failed = 0;  ///< jobs that exhausted their requeue budget
+  double mean_wait_hours = 0.0;
+  double max_wait_hours = 0.0;
+  std::map<std::string, int> jobs_per_site;
+  std::vector<Job> finished_jobs;
+};
+
+/// Dispatches one campaign over a federation. Submit, then run the event
+/// queue; `done()` flips when every job completed or gave up.
+class Broker {
+ public:
+  Broker(Federation& federation, CampaignConfig config);
+
+  /// Submit all campaign jobs at the current simulation time.
+  void submit_all();
+
+  [[nodiscard]] bool done() const { return outstanding_ == 0 && submitted_; }
+  /// Final campaign metrics; requires done().
+  [[nodiscard]] CampaignResult result() const;
+
+ private:
+  [[nodiscard]] Site* choose_site(const Job& job, const std::string& exclude);
+  void dispatch(Job job, const std::string& exclude);
+  void on_job_done(const Job& job);
+
+  Federation& federation_;
+  CampaignConfig config_;
+  CampaignResult result_;
+  std::size_t outstanding_ = 0;
+  std::size_t round_robin_next_ = 0;
+  bool submitted_ = false;
+};
+
+/// The federated US–UK grid of the paper's Fig. 5: TeraGrid nodes (NCSA,
+/// SDSC, PSC) and the UK NGS high-end nodes, with realistic 2005-era
+/// sizes. HPCx is included with hidden-IP and no lightpath so scenario
+/// code can demonstrate why it was unusable (§V-C.2).
+void build_spice_federation(Federation& federation);
+
+}  // namespace spice::grid

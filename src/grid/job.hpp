@@ -1,0 +1,41 @@
+#pragma once
+// Batch jobs as the grid substrate sees them.
+
+#include <cstdint>
+#include <string>
+
+namespace spice::grid {
+
+using JobId = std::uint64_t;
+
+enum class JobKind {
+  Campaign,    ///< one of SPICE's SMD-JE production simulations
+  Background,  ///< other users' load on the shared machines
+};
+
+enum class JobState { Pending, Queued, Running, Completed, Failed };
+
+struct Job {
+  JobId id = 0;
+  std::string name;
+  JobKind kind = JobKind::Background;
+  int processors = 1;
+  /// Execution time in hours on a site with speed factor 1.0; the actual
+  /// runtime at a site is runtime_hours / site.speed.
+  double runtime_hours = 1.0;
+
+  // Filled in by the simulation:
+  JobState state = JobState::Pending;
+  std::string site;         ///< where it ran (or is queued)
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  int requeues = 0;         ///< times the job was re-dispatched after a failure
+
+  [[nodiscard]] double wait_hours() const { return start_time - submit_time; }
+  [[nodiscard]] double cpu_hours(double site_speed) const {
+    return processors * runtime_hours / site_speed;
+  }
+};
+
+}  // namespace spice::grid

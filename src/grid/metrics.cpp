@@ -1,0 +1,96 @@
+#include "grid/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace spice::grid {
+
+namespace {
+std::vector<const Job*> completed_of(const std::vector<Job>& jobs) {
+  std::vector<const Job*> out;
+  for (const auto& j : jobs) {
+    if (j.state == JobState::Completed) out.push_back(&j);
+  }
+  return out;
+}
+}  // namespace
+
+WaitStatistics wait_statistics(const std::vector<Job>& jobs) {
+  const auto completed = completed_of(jobs);
+  WaitStatistics stats;
+  stats.jobs = completed.size();
+  if (completed.empty()) return stats;
+  std::vector<double> waits;
+  waits.reserve(completed.size());
+  for (const auto* j : completed) waits.push_back(j->wait_hours());
+  RunningStats rs;
+  for (const double w : waits) rs.add(w);
+  stats.mean_hours = rs.mean();
+  stats.max_hours = rs.max();
+  stats.median_hours = percentile(waits, 50.0);
+  stats.p95_hours = percentile(waits, 95.0);
+  return stats;
+}
+
+std::vector<SiteShare> site_shares(const std::vector<Job>& jobs) {
+  std::map<std::string, SiteShare> by_site;
+  for (const auto& j : jobs) {
+    if (j.state != JobState::Completed) continue;
+    SiteShare& share = by_site[j.site];
+    share.site = j.site;
+    share.jobs += 1;
+    share.cpu_hours += j.processors * (j.end_time - j.start_time);
+    share.mean_wait_hours += j.wait_hours();  // finalized below
+  }
+  std::vector<SiteShare> out;
+  out.reserve(by_site.size());
+  for (auto& [site, share] : by_site) {
+    share.mean_wait_hours /= static_cast<double>(share.jobs);
+    out.push_back(share);
+  }
+  return out;
+}
+
+int processors_in_use(const std::vector<Job>& jobs, double t) {
+  int total = 0;
+  for (const auto& j : jobs) {
+    if (j.state == JobState::Completed && j.start_time <= t && t < j.end_time) {
+      total += j.processors;
+    }
+  }
+  return total;
+}
+
+std::vector<TimelinePoint> concurrency_timeline(const std::vector<Job>& jobs,
+                                                std::size_t samples) {
+  SPICE_REQUIRE(samples >= 2, "timeline needs at least two samples");
+  const auto completed = completed_of(jobs);
+  if (completed.empty()) return {};
+  double t0 = std::numeric_limits<double>::infinity();
+  double t1 = -t0;
+  for (const auto* j : completed) {
+    t0 = std::min(t0, j->submit_time);
+    t1 = std::max(t1, j->end_time);
+  }
+  std::vector<TimelinePoint> out;
+  out.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(s) / static_cast<double>(samples - 1);
+    out.push_back({t, processors_in_use(jobs, t)});
+  }
+  return out;
+}
+
+int peak_processors(const std::vector<Job>& jobs, std::size_t samples) {
+  int peak = 0;
+  for (const auto& p : concurrency_timeline(jobs, samples)) {
+    peak = std::max(peak, p.processors);
+  }
+  return peak;
+}
+
+}  // namespace spice::grid

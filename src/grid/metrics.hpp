@@ -1,0 +1,50 @@
+#pragma once
+// Campaign/site analytics: queue-wait distributions, per-site utilization
+// and a wall-clock timeline, computed from finished-job records. Used by
+// the batch-campaign bench and by operators of the simulated federation.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/job.hpp"
+
+namespace spice::grid {
+
+struct WaitStatistics {
+  std::size_t jobs = 0;
+  double mean_hours = 0.0;
+  double median_hours = 0.0;
+  double p95_hours = 0.0;
+  double max_hours = 0.0;
+};
+
+/// Queue-wait statistics over completed jobs (Failed jobs are skipped).
+[[nodiscard]] WaitStatistics wait_statistics(const std::vector<Job>& jobs);
+
+/// Per-site share of the campaign: job count, CPU-hours and mean wait.
+struct SiteShare {
+  std::string site;
+  std::size_t jobs = 0;
+  double cpu_hours = 0.0;
+  double mean_wait_hours = 0.0;
+};
+
+[[nodiscard]] std::vector<SiteShare> site_shares(const std::vector<Job>& jobs);
+
+/// Number of campaign processors busy at time t (from the job records).
+[[nodiscard]] int processors_in_use(const std::vector<Job>& jobs, double t);
+
+/// Sampled concurrency timeline between the first submit and last end.
+struct TimelinePoint {
+  double time_hours = 0.0;
+  int processors = 0;
+};
+
+[[nodiscard]] std::vector<TimelinePoint> concurrency_timeline(const std::vector<Job>& jobs,
+                                                              std::size_t samples = 50);
+
+/// Peak concurrent campaign processors (resolution: the sampled timeline).
+[[nodiscard]] int peak_processors(const std::vector<Job>& jobs, std::size_t samples = 200);
+
+}  // namespace spice::grid

@@ -1,0 +1,193 @@
+#include "grid/site.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spice::grid {
+
+Site::Site(SiteSpec spec, EventQueue& events)
+    : spec_(std::move(spec)), events_(events), free_procs_(spec_.processors) {
+  SPICE_REQUIRE(spec_.processors > 0, "site needs processors");
+  SPICE_REQUIRE(spec_.speed > 0.0, "site speed must be positive");
+}
+
+bool Site::in_outage() const { return events_.now() < outage_until_; }
+
+int Site::max_reserved_overlap(double t0, double t1) const {
+  // Small reservation counts: evaluate at every reservation boundary
+  // inside the window plus the window start.
+  int peak = 0;
+  auto reserved_at = [this](double t) {
+    int total = 0;
+    for (const auto& r : reservations_) {
+      if (t >= r.start && t < r.end) total += r.processors;
+    }
+    return total;
+  };
+  peak = reserved_at(t0);
+  for (const auto& r : reservations_) {
+    if (r.start > t0 && r.start < t1) peak = std::max(peak, reserved_at(r.start));
+  }
+  return peak;
+}
+
+bool Site::fits_now(int procs, double duration) const {
+  if (procs > free_procs_) return false;
+  const double now = events_.now();
+  const int reserved = max_reserved_overlap(now, now + duration);
+  // Reserved capacity may overlap capacity used by running jobs only if
+  // the machine is big enough; conservative: procs + reserved ≤ free.
+  return procs + reserved <= free_procs_;
+}
+
+double Site::shadow_time(const Job& head) const {
+  const double duration = head.runtime_hours / spec_.speed;
+  // Candidate start times: now, then each running-job end and reservation
+  // end, in order. At each candidate check feasibility.
+  std::vector<double> candidates{events_.now()};
+  for (const auto& r : running_) {
+    if (r.alive) candidates.push_back(r.end_time);
+  }
+  for (const auto& res : reservations_) candidates.push_back(res.end);
+  std::sort(candidates.begin(), candidates.end());
+
+  for (const double t : candidates) {
+    if (t < events_.now()) continue;
+    int free_at_t = free_procs_;
+    for (const auto& r : running_) {
+      if (r.alive && r.end_time <= t) free_at_t += r.job.processors;
+    }
+    const int reserved = max_reserved_overlap(t, t + duration);
+    if (head.processors + reserved <= free_at_t) return t;
+  }
+  // No feasible candidate (should not happen for jobs that fit the
+  // machine); fall back to the last running end.
+  return candidates.empty() ? events_.now() : candidates.back();
+}
+
+double Site::backlog_hours() const {
+  double queued_work = 0.0;
+  for (const auto& j : queue_) {
+    queued_work += j.processors * j.runtime_hours / spec_.speed;
+  }
+  for (const auto& r : running_) {
+    if (r.alive) {
+      queued_work += r.job.processors * std::max(0.0, r.end_time - events_.now());
+    }
+  }
+  return queued_work / spec_.processors;
+}
+
+void Site::submit(Job job) {
+  SPICE_REQUIRE(job.processors > 0, "job needs processors");
+  SPICE_REQUIRE(job.runtime_hours > 0.0, "job needs a positive runtime");
+  if (job.processors > spec_.processors) {
+    fail_job(std::move(job), "job larger than machine");
+    return;
+  }
+  if (in_outage()) {
+    fail_job(std::move(job), "site in outage");
+    return;
+  }
+  job.state = JobState::Queued;
+  job.submit_time = events_.now();
+  job.site = spec_.name;
+  queue_.push_back(std::move(job));
+  dispatch();
+}
+
+void Site::add_reservation(const Reservation& r) {
+  SPICE_REQUIRE(r.end > r.start, "reservation window empty");
+  SPICE_REQUIRE(r.processors > 0 && r.processors <= spec_.processors,
+                "reservation processors out of range");
+  reservations_.push_back(r);
+  // Capacity changes at the boundaries: re-run dispatch then.
+  if (r.start > events_.now()) {
+    events_.at(r.start, [this] { dispatch(); });
+  }
+  events_.at(std::max(r.end, events_.now()), [this] { dispatch(); });
+}
+
+void Site::start_job(Job job) {
+  const double duration = job.runtime_hours / spec_.speed;
+  job.state = JobState::Running;
+  job.start_time = events_.now();
+  free_procs_ -= job.processors;
+  SPICE_ENSURE(free_procs_ >= 0, "site over-subscribed");
+  const JobId id = job.id;
+  const double end = events_.now() + duration;
+  running_.push_back(Running{std::move(job), end, true});
+  events_.at(end, [this, id] { finish_job(id); });
+}
+
+void Site::finish_job(JobId id) {
+  const auto it = std::find_if(running_.begin(), running_.end(), [id](const Running& r) {
+    return r.alive && r.job.id == id;
+  });
+  if (it == running_.end()) return;  // killed by an outage before finishing
+  Job job = std::move(it->job);
+  running_.erase(it);
+  free_procs_ += job.processors;
+  job.state = JobState::Completed;
+  job.end_time = events_.now();
+  busy_proc_hours_ += job.processors * (job.end_time - job.start_time);
+  if (on_done_) on_done_(job);
+  dispatch();
+}
+
+void Site::dispatch() {
+  if (in_outage()) return;
+  // FCFS: start queue heads while they fit.
+  while (!queue_.empty()) {
+    Job& head = queue_.front();
+    const double duration = head.runtime_hours / spec_.speed;
+    if (!fits_now(head.processors, duration)) break;
+    Job job = std::move(head);
+    queue_.pop_front();
+    start_job(std::move(job));
+  }
+  if (queue_.empty()) return;
+
+  // Conservative EASY backfill: jobs behind the head may start only if
+  // they fit now and finish before the head's shadow time.
+  const double shadow = shadow_time(queue_.front());
+  for (auto it = queue_.begin() + 1; it != queue_.end();) {
+    const double duration = it->runtime_hours / spec_.speed;
+    if (fits_now(it->processors, duration) && events_.now() + duration <= shadow) {
+      Job job = std::move(*it);
+      it = queue_.erase(it);
+      start_job(std::move(job));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Site::fail_job(Job job, const char* reason) {
+  job.state = JobState::Failed;
+  job.end_time = events_.now();
+  job.site = spec_.name;
+  job.name += std::string(" [") + reason + "]";
+  if (on_done_) on_done_(job);
+}
+
+void Site::fail_until(double until) {
+  SPICE_REQUIRE(until > events_.now(), "outage must end in the future");
+  outage_until_ = until;
+  // Kill running jobs.
+  std::vector<Running> dead;
+  dead.swap(running_);
+  for (auto& r : dead) {
+    free_procs_ += r.job.processors;
+    fail_job(std::move(r.job), "site outage");
+  }
+  // Kill queued jobs.
+  std::deque<Job> queued;
+  queued.swap(queue_);
+  for (auto& j : queued) fail_job(std::move(j), "site outage");
+  // Resume dispatching when the outage lifts.
+  events_.at(until, [this] { dispatch(); });
+}
+
+}  // namespace spice::grid

@@ -1,0 +1,107 @@
+#pragma once
+// A grid site: an HPC machine with a batch queue, advance reservations and
+// failure behaviour, driven by the shared EventQueue.
+//
+// Scheduling policy is FCFS with conservative EASY backfill: the head job
+// gets a "shadow" start time computed from running-job completions; later
+// queue entries may start immediately only if they fit in the currently
+// free processors AND are guaranteed to finish before the shadow time, so
+// backfilling never delays the head job.
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/des.hpp"
+#include "grid/job.hpp"
+
+namespace spice::grid {
+
+struct SiteSpec {
+  std::string name;
+  std::string grid;        ///< "TeraGrid", "NGS", ...
+  int processors = 128;
+  double speed = 1.0;      ///< relative per-processor speed factor
+  bool hidden_ip = false;  ///< compute nodes not externally addressable
+  bool lightpath = false;  ///< optical lightpath (GLIF/UKLight) deployed
+  /// Application successfully grid-enabled here (middleware deployed and
+  /// working). HPCx never got there in the paper (§V-C.2), so the broker
+  /// skips such sites.
+  bool grid_enabled = true;
+};
+
+struct Reservation {
+  double start = 0.0;  ///< hours
+  double end = 0.0;
+  int processors = 0;
+  std::string holder;
+};
+
+class Site {
+ public:
+  using CompletionHandler = std::function<void(const Job&)>;
+
+  Site(SiteSpec spec, EventQueue& events);
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  [[nodiscard]] const SiteSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+
+  /// Called whenever a job reaches Completed or Failed.
+  void set_completion_handler(CompletionHandler handler) { on_done_ = std::move(handler); }
+
+  /// Enqueue a job (state → Queued) and try to dispatch.
+  void submit(Job job);
+
+  /// Reserve processors for [start, end); queued batch jobs will not be
+  /// started into the reserved capacity.
+  void add_reservation(const Reservation& r);
+
+  /// Take the whole site down until `until` (hours): running jobs fail,
+  /// queued jobs fail, new submissions are rejected (job fails instantly).
+  void fail_until(double until);
+
+  [[nodiscard]] bool in_outage() const;
+  [[nodiscard]] int free_processors() const { return free_procs_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  /// Busy processor-hours accumulated by finished jobs.
+  [[nodiscard]] double busy_proc_hours() const { return busy_proc_hours_; }
+  /// Estimated hours of queued work per processor (broker load signal).
+  [[nodiscard]] double backlog_hours() const;
+  [[nodiscard]] const std::vector<Reservation>& reservations() const { return reservations_; }
+
+ private:
+  struct Running {
+    Job job;
+    double end_time;
+    bool alive = true;
+  };
+
+  /// Max processors held by reservations at any instant in [t0, t1).
+  [[nodiscard]] int max_reserved_overlap(double t0, double t1) const;
+  /// Can a job with `procs`/`duration` start right now?
+  [[nodiscard]] bool fits_now(int procs, double duration) const;
+  /// Earliest time the queue head could start, given current running jobs
+  /// and reservations (the EASY "shadow time").
+  [[nodiscard]] double shadow_time(const Job& head) const;
+  void start_job(Job job);
+  void finish_job(JobId id);
+  void dispatch();
+  void fail_job(Job job, const char* reason);
+
+  SiteSpec spec_;
+  EventQueue& events_;
+  CompletionHandler on_done_;
+  int free_procs_;
+  std::deque<Job> queue_;
+  std::vector<Running> running_;
+  std::vector<Reservation> reservations_;
+  double outage_until_ = -1.0;
+  double busy_proc_hours_ = 0.0;
+};
+
+}  // namespace spice::grid

@@ -1,0 +1,72 @@
+#pragma once
+// DAG workflow execution over the federation.
+//
+// The SPICE pipeline is itself a dependency graph — preprocessing
+// simulations gate the production sweep, which gates the analysis — and
+// 2005-era grid projects scripted exactly such chains by hand. The
+// WorkflowEngine runs a DAG of grid jobs through a Broker-like dispatch:
+// a node is submitted once every dependency has completed; failed nodes
+// (after the per-job requeue budget) fail their dependents transitively.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/federation.hpp"
+#include "grid/job.hpp"
+
+namespace spice::grid {
+
+using NodeId = std::uint32_t;
+
+struct WorkflowNode {
+  Job job;
+  std::vector<NodeId> dependencies;
+};
+
+enum class NodeState { Waiting, Submitted, Completed, Failed };
+
+struct WorkflowResult {
+  std::size_t completed = 0;
+  std::size_t failed = 0;       ///< including transitively failed dependents
+  double makespan_hours = 0.0;  ///< last completion − workflow start
+  std::map<NodeId, NodeState> states;
+  /// Longest dependency chain (nodes) actually executed — the DAG's
+  /// critical-path length.
+  std::size_t critical_path_nodes = 0;
+};
+
+class WorkflowEngine {
+ public:
+  WorkflowEngine(Federation& federation, BrokerPolicy policy = BrokerPolicy::LeastBacklog);
+
+  /// Add a node; dependencies must refer to already-added nodes.
+  NodeId add_node(Job job, std::vector<NodeId> dependencies = {});
+
+  /// Submit every dependency-free node at the current simulation time.
+  /// The rest dispatch as their dependencies complete (run the federation
+  /// event queue to completion, then collect the result).
+  void start();
+
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] WorkflowResult result() const;
+
+ private:
+  void try_dispatch();
+  void on_job_done(const Job& job);
+  void fail_dependents(NodeId id);
+
+  Federation& federation_;
+  BrokerPolicy policy_;
+  std::vector<WorkflowNode> nodes_;
+  std::vector<NodeState> states_;
+  std::vector<int> requeues_left_;
+  std::map<JobId, NodeId> job_to_node_;
+  double start_time_ = 0.0;
+  double last_completion_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace spice::grid

@@ -1,0 +1,55 @@
+#include "grid/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spice::grid {
+
+std::size_t generate_background_load(Site& site, EventQueue& events,
+                                     const WorkloadParams& params) {
+  SPICE_REQUIRE(params.target_utilization >= 0.0 && params.target_utilization < 1.0,
+                "target utilization must be in [0, 1)");
+  SPICE_REQUIRE(params.mean_runtime_hours > 0.0, "mean runtime must be positive");
+  if (params.target_utilization == 0.0) return 0;
+
+  // Job sizes: powers of two in [8, P/2], drawn uniformly over exponents —
+  // small jobs dominate counts, large jobs dominate area, roughly matching
+  // production batch logs.
+  const int procs = site.spec().processors;
+  std::vector<int> sizes;
+  for (int s = 8; s <= std::max(8, procs / 2); s *= 2) sizes.push_back(std::min(s, procs));
+  SPICE_REQUIRE(!sizes.empty(), "site too small for background load");
+  double mean_size = 0.0;
+  for (int s : sizes) mean_size += s;
+  mean_size /= static_cast<double>(sizes.size());
+
+  // Offered load = rate · mean_size · mean_runtime = util · P
+  const double rate = params.target_utilization * procs /
+                      (mean_size * params.mean_runtime_hours);  // jobs per hour
+  const double mean_gap = 1.0 / rate;
+
+  Rng rng = Rng::stream(params.seed, 0x6c6f6164 /*"load"*/,
+                        std::hash<std::string>{}(site.name()));
+  std::size_t count = 0;
+  double t = rng.exponential(mean_gap);
+  static std::uint64_t next_bg_id = 1'000'000;  // distinct from campaign ids
+  while (t < params.horizon_hours) {
+    Job job;
+    job.id = next_bg_id++;
+    job.kind = JobKind::Background;
+    job.name = "bg-" + site.name() + "-" + std::to_string(count);
+    job.processors = sizes[rng.uniform_index(sizes.size())];
+    // Lognormal runtime with the requested mean (σ of log = 1).
+    const double mu = std::log(params.mean_runtime_hours) - 0.5;
+    job.runtime_hours = std::clamp(std::exp(rng.gaussian(mu, 1.0)), 0.1, 72.0);
+    events.at(t, [&site, job] { Site& s = site; s.submit(job); });
+    ++count;
+    t += rng.exponential(mean_gap);
+  }
+  return count;
+}
+
+}  // namespace spice::grid

@@ -1,0 +1,29 @@
+#pragma once
+// Synthetic background workload: the "other users" that make shared HPC
+// machines scarce. The paper's time-to-solution argument (§III: 72 jobs in
+// under a week "unlikely ... without a grid infrastructure") only holds on
+// *contended* machines, so the batch-campaign experiment loads every site
+// with a Poisson stream of jobs sized like a 2005 supercomputing mix.
+
+#include <cstdint>
+
+#include "grid/des.hpp"
+#include "grid/site.hpp"
+
+namespace spice::grid {
+
+struct WorkloadParams {
+  double target_utilization = 0.7;  ///< fraction of site capacity consumed
+  double mean_runtime_hours = 8.0;  ///< lognormal-ish job length
+  double horizon_hours = 400.0;     ///< generate arrivals in [0, horizon)
+  std::uint64_t seed = 42;
+};
+
+/// Pre-schedule background-job submissions for `site` on its event queue.
+/// Job sizes are powers of two between 8 and site.processors/2; the
+/// arrival rate is chosen so offered load ≈ target_utilization of the
+/// machine. Returns the number of arrivals generated.
+std::size_t generate_background_load(Site& site, EventQueue& events,
+                                     const WorkloadParams& params);
+
+}  // namespace spice::grid

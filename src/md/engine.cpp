@@ -1,0 +1,297 @@
+#include "md/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/serialize.hpp"
+#include "common/units.hpp"
+
+namespace spice::md {
+
+namespace {
+/// kcal/mol per amu·(Å/ps)²: converts m·v² to energy.
+constexpr double kMv2ToKcalMol = 0.0023900574;
+/// Å/ps² per (kcal/mol/Å)/amu: converts F/m to acceleration.
+constexpr double kForceOverMassToAcc = 1.0 / kMv2ToKcalMol;
+/// Fixed slice count for the nonbonded reduction — independent of thread
+/// count so the summation order (and thus the trajectory) never changes.
+constexpr std::size_t kForceSlices = 16;
+
+constexpr std::uint32_t kCheckpointMagic = 0x53504943;  // "SPIC"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+Engine::Engine(Topology topology, NonbondedParams nonbonded, MdConfig config)
+    : topology_(std::move(topology)), nonbonded_(nonbonded), config_(config) {
+  SPICE_REQUIRE(config_.dt > 0.0, "timestep must be positive");
+  SPICE_REQUIRE(config_.temperature >= 0.0, "temperature must be non-negative");
+  SPICE_REQUIRE(config_.friction > 0.0, "Langevin friction must be positive");
+  const std::size_t n = topology_.particle_count();
+  SPICE_REQUIRE(n > 0, "engine needs at least one particle");
+  positions_.resize(n);
+  velocities_.resize(n);
+  forces_.resize(n);
+  inv_mass_.reserve(n);
+  for (const auto& p : topology_.particles()) inv_mass_.push_back(1.0 / p.mass);
+  neighbor_list_ = std::make_unique<NeighborList>(nonbonded_.cutoff, config_.neighbor_skin);
+  if (config_.threads > 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  slice_forces_.resize(kForceSlices);
+  slice_energy_.resize(kForceSlices);
+}
+
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+void Engine::set_positions(std::span<const Vec3> xs) {
+  SPICE_REQUIRE(xs.size() == positions_.size(), "position count mismatch");
+  positions_.assign(xs.begin(), xs.end());
+  forces_current_ = false;
+}
+
+void Engine::set_velocities(std::span<const Vec3> vs) {
+  SPICE_REQUIRE(vs.size() == velocities_.size(), "velocity count mismatch");
+  velocities_.assign(vs.begin(), vs.end());
+}
+
+void Engine::initialize_velocities(double temperature_k) {
+  SPICE_REQUIRE(temperature_k >= 0.0, "temperature must be non-negative");
+  const auto& particles = topology_.particles();
+  for (std::size_t i = 0; i < velocities_.size(); ++i) {
+    Rng rng = Rng::stream(config_.seed, 0x76656c /*"vel"*/, i);
+    const double sigma =
+        std::sqrt(units::kB * temperature_k / (particles[i].mass * kMv2ToKcalMol));
+    velocities_[i] = {rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma),
+                      rng.gaussian(0.0, sigma)};
+  }
+}
+
+void Engine::add_contribution(std::shared_ptr<ForceContribution> contribution) {
+  SPICE_REQUIRE(contribution != nullptr, "null force contribution");
+  contributions_.push_back(std::move(contribution));
+  forces_current_ = false;
+}
+
+void Engine::remove_contribution(const ForceContribution* contribution) {
+  std::erase_if(contributions_, [contribution](const std::shared_ptr<ForceContribution>& c) {
+    return c.get() == contribution;
+  });
+  forces_current_ = false;
+}
+
+double Engine::evaluate_nonbonded(std::span<Vec3> forces) {
+  neighbor_list_->maybe_rebuild(positions_, topology_);
+  const auto& pairs = neighbor_list_->pairs();
+  const auto& particles = topology_.particles();
+  if (pairs.empty()) return 0.0;
+
+  const std::size_t slices = std::min<std::size_t>(kForceSlices, pairs.size());
+  for (std::size_t s = 0; s < slices; ++s) {
+    slice_forces_[s].assign(forces.size(), Vec3{});
+    slice_energy_[s] = 0.0;
+  }
+
+  auto run_slice = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      auto& local = slice_forces_[s];
+      double energy = 0.0;
+      const std::size_t lo = pairs.size() * s / slices;
+      const std::size_t hi = pairs.size() * (s + 1) / slices;
+      for (std::size_t p = lo; p < hi; ++p) {
+        const auto [i, j] = pairs[p];
+        const double sigma = particles[i].radius + particles[j].radius;
+        const EnergyForce ef = nonbonded_pair(positions_[i], positions_[j], particles[i].charge,
+                                              particles[j].charge, sigma, nonbonded_);
+        energy += ef.energy;
+        local[i] += ef.force_on_i;
+        local[j] -= ef.force_on_i;
+      }
+      slice_energy_[s] = energy;
+    }
+  };
+
+  if (pool_) {
+    pool_->parallel_for(slices, run_slice);
+  } else {
+    run_slice(0, slices);
+  }
+
+  // Deterministic reduction in slice order.
+  double energy = 0.0;
+  for (std::size_t s = 0; s < slices; ++s) {
+    energy += slice_energy_[s];
+    const auto& local = slice_forces_[s];
+    for (std::size_t i = 0; i < forces.size(); ++i) forces[i] += local[i];
+  }
+  return energy;
+}
+
+void Engine::evaluate_all_forces() {
+  std::fill(forces_.begin(), forces_.end(), Vec3{});
+  energies_ = EnergyBreakdown{};
+
+  for (const auto& b : topology_.bonds()) {
+    const EnergyForce ef = harmonic_bond(positions_[b.i], positions_[b.j], b.k, b.r0);
+    energies_.bond += ef.energy;
+    forces_[b.i] += ef.force_on_i;
+    forces_[b.j] -= ef.force_on_i;
+  }
+  for (const auto& a : topology_.angles()) {
+    Vec3 fi;
+    Vec3 fj;
+    Vec3 fk;
+    energies_.angle +=
+        harmonic_angle(positions_[a.i], positions_[a.j], positions_[a.k], a.k_theta, a.theta0,
+                       fi, fj, fk);
+    forces_[a.i] += fi;
+    forces_[a.j] += fj;
+    forces_[a.k] += fk;
+  }
+  for (const auto& d : topology_.dihedrals()) {
+    Vec3 fi;
+    Vec3 fj;
+    Vec3 fk;
+    Vec3 fl;
+    energies_.dihedral +=
+        periodic_dihedral(positions_[d.i], positions_[d.j], positions_[d.k], positions_[d.l],
+                          d.k_phi, d.multiplicity, d.delta, fi, fj, fk, fl);
+    forces_[d.i] += fi;
+    forces_[d.j] += fj;
+    forces_[d.k] += fk;
+    forces_[d.l] += fl;
+  }
+  energies_.nonbonded = evaluate_nonbonded(forces_);
+  for (const auto& c : contributions_) {
+    energies_.external += c->add_forces(positions_, topology_, time_, forces_);
+  }
+  forces_current_ = true;
+}
+
+void Engine::ensure_forces_current() {
+  if (!forces_current_) evaluate_all_forces();
+}
+
+const EnergyBreakdown& Engine::compute_energies() {
+  evaluate_all_forces();
+  return energies_;
+}
+
+double Engine::kinetic_energy() const {
+  const auto& particles = topology_.particles();
+  double mv2 = 0.0;
+  for (std::size_t i = 0; i < velocities_.size(); ++i) {
+    mv2 += particles[i].mass * velocities_[i].norm2();
+  }
+  return 0.5 * mv2 * kMv2ToKcalMol;
+}
+
+double Engine::instantaneous_temperature() const {
+  const auto dof = static_cast<double>(3 * velocities_.size());
+  return 2.0 * kinetic_energy() / (dof * units::kB);
+}
+
+void Engine::step(std::size_t n) {
+  for (std::size_t s = 0; s < n; ++s) {
+    switch (config_.integrator) {
+      case IntegratorKind::VelocityVerlet:
+        step_velocity_verlet();
+        break;
+      case IntegratorKind::Langevin:
+        step_langevin();
+        break;
+    }
+    ++step_count_;
+    SPICE_ENSURE(time_ == static_cast<double>(step_count_) * config_.dt,
+                 "integrator failed to advance time");
+  }
+}
+
+void Engine::step_velocity_verlet() {
+  ensure_forces_current();
+  const double dt = config_.dt;
+  const std::size_t n = positions_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
+    positions_[i] += velocities_[i] * dt;
+  }
+  // Forces for the closing half-kick belong to time t + dt (this matters
+  // for time-dependent potentials such as the moving SMD anchor).
+  time_ = static_cast<double>(step_count_ + 1) * dt;
+  evaluate_all_forces();
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
+  }
+}
+
+Vec3 Engine::langevin_noise(std::size_t particle) const {
+  Rng rng = Rng::stream(config_.seed, 0x6c616e /*"lan"*/, particle, step_count_);
+  return {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+}
+
+void Engine::step_langevin() {
+  // BAOAB splitting (Leimkuhler–Matthews): B half-kick, A half-drift,
+  // O Ornstein–Uhlenbeck, A half-drift, B half-kick.
+  ensure_forces_current();
+  const double dt = config_.dt;
+  const double c1 = std::exp(-config_.friction * dt);
+  const double kbt = units::kB * config_.temperature;
+  const std::size_t n = positions_.size();
+  const auto& particles = topology_.particles();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
+    positions_[i] += velocities_[i] * (0.5 * dt);
+    const double sigma = std::sqrt((1.0 - c1 * c1) * kbt / (particles[i].mass * kMv2ToKcalMol));
+    velocities_[i] = velocities_[i] * c1 + langevin_noise(i) * sigma;
+    positions_[i] += velocities_[i] * (0.5 * dt);
+  }
+  time_ = static_cast<double>(step_count_ + 1) * dt;
+  evaluate_all_forces();
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
+  }
+}
+
+Checkpoint Engine::checkpoint() const {
+  BinaryWriter w;
+  w.write_u32(kCheckpointMagic);
+  w.write_u32(kCheckpointVersion);
+  w.write_u64(topology_.particle_count());
+  w.write_u64(step_count_);
+  w.write_f64(time_);
+  w.write_u64(config_.seed);
+  w.write_vec3_span(positions_);
+  w.write_vec3_span(velocities_);
+  return Checkpoint{w.take()};
+}
+
+void Engine::restore(const Checkpoint& snapshot) {
+  BinaryReader r(snapshot.bytes);
+  SPICE_REQUIRE(r.read_u32() == kCheckpointMagic, "not a SPICE checkpoint");
+  SPICE_REQUIRE(r.read_u32() == kCheckpointVersion, "unsupported checkpoint version");
+  const std::uint64_t n = r.read_u64();
+  SPICE_REQUIRE(n == topology_.particle_count(), "checkpoint particle count mismatch");
+  step_count_ = r.read_u64();
+  time_ = r.read_f64();
+  config_.seed = r.read_u64();
+  positions_ = r.read_vec3_vector();
+  velocities_ = r.read_vec3_vector();
+  SPICE_ENSURE(positions_.size() == n && velocities_.size() == n, "corrupt checkpoint");
+  forces_current_ = false;
+}
+
+Engine Engine::clone(std::uint64_t clone_seed) const {
+  MdConfig cfg = config_;
+  cfg.seed = clone_seed;
+  Engine copy(topology_, nonbonded_, cfg);
+  copy.positions_ = positions_;
+  copy.velocities_ = velocities_;
+  copy.time_ = time_;
+  copy.step_count_ = step_count_;
+  copy.contributions_ = contributions_;
+  return copy;
+}
+
+}  // namespace spice::md

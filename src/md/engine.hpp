@@ -1,0 +1,161 @@
+#pragma once
+// The MD engine: owns topology, state, force evaluation and integration.
+//
+// This is the library's stand-in for NAMD (DESIGN.md §2). It supports the
+// two integrators the reproduction needs (velocity Verlet for NVE
+// validation, Langevin BAOAB for production), deterministic thread-parallel
+// force evaluation, pluggable extra forces (pore potential, SMD spring,
+// IMD steering) and checkpoint/restore/clone — the RealityGrid features
+// the paper relies on for verification-and-validation runs.
+//
+// Determinism contract: for a fixed seed and fixed build, trajectories are
+// bit-identical regardless of the number of threads. Nonbonded reduction
+// order is fixed (static slices), and the Langevin noise stream is keyed
+// by (seed, particle, step), not by thread.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "md/force_contribution.hpp"
+#include "md/forcefield.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/topology.hpp"
+
+namespace spice {
+class ThreadPool;
+}
+
+namespace spice::md {
+
+enum class IntegratorKind {
+  VelocityVerlet,  ///< NVE; used for energy-conservation validation
+  Langevin,        ///< BAOAB; production thermostatted dynamics
+};
+
+struct MdConfig {
+  double dt = 0.01;            ///< timestep, ps
+  double temperature = 300.0;  ///< K (Langevin target)
+  double friction = 1.0;       ///< Langevin γ, 1/ps
+  IntegratorKind integrator = IntegratorKind::Langevin;
+  std::uint64_t seed = 1;      ///< master seed for all stochastic terms
+  std::size_t threads = 1;     ///< force-evaluation worker threads
+  double neighbor_skin = 2.0;  ///< Verlet skin, Å
+};
+
+/// Per-term potential-energy breakdown from the last force evaluation.
+struct EnergyBreakdown {
+  double bond = 0.0;
+  double angle = 0.0;
+  double dihedral = 0.0;
+  double nonbonded = 0.0;
+  double external = 0.0;  ///< sum over ForceContributions
+  [[nodiscard]] double total() const {
+    return bond + angle + dihedral + nonbonded + external;
+  }
+};
+
+/// Opaque engine snapshot; restorable on an engine with the same topology.
+struct Checkpoint {
+  std::vector<std::uint8_t> bytes;
+};
+
+class Engine {
+ public:
+  Engine(Topology topology, NonbondedParams nonbonded, MdConfig config);
+  ~Engine();
+
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- setup -------------------------------------------------------------
+  void set_positions(std::span<const Vec3> xs);
+  void set_velocities(std::span<const Vec3> vs);
+  /// Draw Maxwell–Boltzmann velocities at the given temperature.
+  void initialize_velocities(double temperature_k);
+  /// Register an extra force (pore potential, SMD spring, steering force).
+  void add_contribution(std::shared_ptr<ForceContribution> contribution);
+
+  /// Unregister a previously added contribution (no-op if absent). Needed
+  /// when cloning: clone() shares contribution objects with the original,
+  /// which is correct for stateless potentials (the pore) but wrong for
+  /// stateful couplings (SMD springs, steering forces) — callers replace
+  /// those on the clone.
+  void remove_contribution(const ForceContribution* contribution);
+
+  // --- running -----------------------------------------------------------
+  /// Advance `n` timesteps.
+  void step(std::size_t n = 1);
+
+  // --- inspection ----------------------------------------------------------
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const MdConfig& config() const { return config_; }
+  [[nodiscard]] std::span<const Vec3> positions() const { return positions_; }
+  [[nodiscard]] std::span<const Vec3> velocities() const { return velocities_; }
+  [[nodiscard]] std::span<const Vec3> forces() const { return forces_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] std::uint64_t step_count() const { return step_count_; }
+
+  /// Recompute forces/energies for the current positions and return the
+  /// breakdown (also refreshes forces()).
+  const EnergyBreakdown& compute_energies();
+  [[nodiscard]] const EnergyBreakdown& last_energies() const { return energies_; }
+  [[nodiscard]] double kinetic_energy() const;
+  /// Instantaneous kinetic temperature, K.
+  [[nodiscard]] double instantaneous_temperature() const;
+  [[nodiscard]] const NeighborList& neighbor_list() const { return *neighbor_list_; }
+
+  // --- checkpoint / clone -------------------------------------------------
+  /// Snapshot dynamic state (positions, velocities, time, step counter).
+  [[nodiscard]] Checkpoint checkpoint() const;
+  /// Restore a snapshot taken from an engine with identical topology.
+  /// Also restores the stochastic seed recorded in the snapshot so that a
+  /// restore + step() continuation is bit-identical to the original run.
+  void restore(const Checkpoint& snapshot);
+
+  /// Re-seed the stochastic streams (used after restore when a clone
+  /// should explore an independent trajectory instead of replaying).
+  void set_seed(std::uint64_t seed) { config_.seed = seed; }
+  /// Clone this engine: same topology/parameters/state. `clone_seed`
+  /// reseeds the stochastic stream so the clone explores an independent
+  /// trajectory (the paper's clone-for-exploration use case); passing the
+  /// original seed gives a bit-identical continuation.
+  [[nodiscard]] Engine clone(std::uint64_t clone_seed) const;
+
+ private:
+  void ensure_forces_current();
+  double evaluate_nonbonded(std::span<Vec3> forces);
+  void evaluate_all_forces();
+  void step_velocity_verlet();
+  void step_langevin();
+  [[nodiscard]] Vec3 langevin_noise(std::size_t particle) const;
+
+  Topology topology_;
+  NonbondedParams nonbonded_;
+  MdConfig config_;
+
+  std::vector<Vec3> positions_;
+  std::vector<Vec3> velocities_;
+  std::vector<Vec3> forces_;
+  std::vector<double> inv_mass_;  ///< precomputed 1/m
+  EnergyBreakdown energies_;
+  bool forces_current_ = false;
+
+  double time_ = 0.0;
+  std::uint64_t step_count_ = 0;
+
+  std::unique_ptr<NeighborList> neighbor_list_;
+  std::vector<std::shared_ptr<ForceContribution>> contributions_;
+  std::unique_ptr<ThreadPool> pool_;
+  // Per-slice scratch force buffers for deterministic parallel reduction.
+  std::vector<std::vector<Vec3>> slice_forces_;
+  std::vector<double> slice_energy_;
+};
+
+}  // namespace spice::md

@@ -1,0 +1,22 @@
+#include "md/force_contribution.hpp"
+
+#include "common/error.hpp"
+#include "md/topology.hpp"
+
+namespace spice::md {
+
+double PerParticlePotential::add_forces(std::span<const Vec3> positions,
+                                        const Topology& topology, double /*time*/,
+                                        std::span<Vec3> forces) {
+  SPICE_REQUIRE(positions.size() == forces.size(), "positions/forces size mismatch");
+  const auto& particles = topology.particles();
+  double energy = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    Vec3 f;
+    energy += particle_energy_force(positions[i], particles[i].charge, f);
+    forces[i] += f;
+  }
+  return energy;
+}
+
+}  // namespace spice::md

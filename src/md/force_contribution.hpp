@@ -1,0 +1,48 @@
+#pragma once
+// Extension point for forces beyond the built-in force field.
+//
+// External potentials (the pore model), SMD pulling springs and IMD
+// steering forces all enter the engine through this interface. A
+// contribution sees the whole state so it can implement collective
+// couplings (e.g. a spring on the centre of mass of a selection).
+
+#include <span>
+#include <string>
+
+#include "common/vec3.hpp"
+
+namespace spice::md {
+
+class Topology;
+
+/// Abstract extra force. Implementations add forces into `forces` (never
+/// overwrite) and return the associated potential energy.
+class ForceContribution {
+ public:
+  virtual ~ForceContribution() = default;
+
+  /// Add this contribution's forces for the given positions; returns its
+  /// potential energy in kcal/mol. `time` is the simulation time in ps
+  /// (time-dependent protocols such as SMD pulling depend on it).
+  virtual double add_forces(std::span<const Vec3> positions, const Topology& topology,
+                            double time, std::span<Vec3> forces) = 0;
+
+  /// Human-readable name (appears in energy breakdowns and logs).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Convenience adaptor for potentials that act on each particle
+/// independently, U(r_i); implement particle_energy_force.
+class PerParticlePotential : public ForceContribution {
+ public:
+  double add_forces(std::span<const Vec3> positions, const Topology& topology, double time,
+                    std::span<Vec3> forces) override;
+
+ protected:
+  /// Energy of one particle at position r with the given charge; add the
+  /// force on that particle to f.
+  [[nodiscard]] virtual double particle_energy_force(const Vec3& r, double charge,
+                                                     Vec3& f) const = 0;
+};
+
+}  // namespace spice::md

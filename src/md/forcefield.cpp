@@ -1,0 +1,129 @@
+#include "md/forcefield.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace spice::md {
+
+EnergyForce harmonic_bond(const Vec3& ri, const Vec3& rj, double k, double r0) {
+  const Vec3 dr = ri - rj;
+  const double r = dr.norm();
+  if (r <= 0.0) return {};  // coincident sites exert no well-defined force
+  const double x = r - r0;
+  EnergyForce out;
+  out.energy = k * x * x;
+  // dU/dr = 2 k x; force on i = −dU/dr · r̂
+  out.force_on_i = dr * (-2.0 * k * x / r);
+  return out;
+}
+
+double harmonic_angle(const Vec3& ri, const Vec3& rj, const Vec3& rk, double k_theta,
+                      double theta0, Vec3& fi, Vec3& fj, Vec3& fk) {
+  const Vec3 rij = ri - rj;
+  const Vec3 rkj = rk - rj;
+  const double nij = rij.norm();
+  const double nkj = rkj.norm();
+  if (nij <= 0.0 || nkj <= 0.0) {
+    fi = fj = fk = Vec3{};
+    return 0.0;
+  }
+  double cos_t = dot(rij, rkj) / (nij * nkj);
+  cos_t = std::clamp(cos_t, -1.0, 1.0);
+  const double theta = std::acos(cos_t);
+  const double dtheta = theta - theta0;
+  const double energy = k_theta * dtheta * dtheta;
+
+  // dU/dθ = 2 k dθ; F_i = −dU/dθ · dθ/dr_i with dθ/dr = −(1/sinθ) dcosθ/dr,
+  // so F_i = +(2 k dθ / sinθ) · dcosθ/dr_i.
+  const double sin_t = std::sqrt(std::max(1.0 - cos_t * cos_t, 1e-12));
+  const double coeff = 2.0 * k_theta * dtheta / sin_t;
+  const Vec3 di = (rkj / (nij * nkj) - rij * (cos_t / (nij * nij))) * coeff;
+  const Vec3 dk = (rij / (nij * nkj) - rkj * (cos_t / (nkj * nkj))) * coeff;
+  fi = di;
+  fk = dk;
+  fj = -(di + dk);
+  return energy;
+}
+
+double periodic_dihedral(const Vec3& ri, const Vec3& rj, const Vec3& rk, const Vec3& rl,
+                         double k_phi, int multiplicity, double delta, Vec3& fi, Vec3& fj,
+                         Vec3& fk, Vec3& fl, double* phi_out) {
+  fi = fj = fk = fl = Vec3{};
+  const Vec3 b1 = rj - ri;
+  const Vec3 b2 = rk - rj;
+  const Vec3 b3 = rl - rk;
+  const Vec3 n1 = cross(b1, b2);
+  const Vec3 n2 = cross(b2, b3);
+  const double n1sq = n1.norm2();
+  const double n2sq = n2.norm2();
+  const double b2len = b2.norm();
+  if (n1sq < 1e-18 || n2sq < 1e-18 || b2len < 1e-12) {
+    if (phi_out != nullptr) *phi_out = 0.0;
+    return 0.0;  // collinear geometry: torsion undefined, zero force
+  }
+  // φ via atan2 keeps the full (−π, π] range and a stable derivative.
+  const double x = dot(n1, n2);
+  const double y = dot(cross(n1, n2), b2) / b2len;
+  const double phi = std::atan2(y, x);
+  if (phi_out != nullptr) *phi_out = phi;
+
+  const double n = static_cast<double>(multiplicity);
+  const double energy = k_phi * (1.0 + std::cos(n * phi - delta));
+  const double dudphi = -k_phi * n * std::sin(n * phi - delta);
+
+  // Blondel–Karplus force distribution (sign convention fixed against the
+  // finite-difference tests: F = −∇U with φ = atan2((n1×n2)·b̂2, n1·n2)).
+  fi = n1 * (dudphi * b2len / n1sq);
+  fl = n2 * (-dudphi * b2len / n2sq);
+  const double tj = dot(b1, b2) / (b2len * b2len);
+  const double tk = dot(b3, b2) / (b2len * b2len);
+  fj = -fi - fi * tj + fl * tk;
+  fk = -fl + fi * tj - fl * tk;
+  return energy;
+}
+
+EnergyForce wca_pair(const Vec3& ri, const Vec3& rj, double sigma, double epsilon) {
+  const Vec3 dr = ri - rj;
+  const double r2 = dr.norm2();
+  const double rc2 = sigma * sigma * std::pow(2.0, 1.0 / 3.0);  // (2^{1/6} σ)²
+  EnergyForce out;
+  if (r2 >= rc2 || r2 <= 0.0) return out;
+  const double s2 = sigma * sigma / r2;
+  const double s6 = s2 * s2 * s2;
+  const double s12 = s6 * s6;
+  out.energy = 4.0 * epsilon * (s12 - s6) + epsilon;
+  // F = −dU/dr r̂ = 24 ε (2 s12 − s6) / r² · dr
+  out.force_on_i = dr * (24.0 * epsilon * (2.0 * s12 - s6) / r2);
+  return out;
+}
+
+EnergyForce debye_huckel_pair(const Vec3& ri, const Vec3& rj, double qi, double qj,
+                              const NonbondedParams& params) {
+  EnergyForce out;
+  if (qi == 0.0 || qj == 0.0) return out;
+  const Vec3 dr = ri - rj;
+  const double r = dr.norm();
+  if (r >= params.cutoff || r <= 0.0) return out;
+  const double pref = units::kCoulomb * qi * qj / params.dielectric;
+  const double lambda = params.debye_length;
+  const double u_r = pref * std::exp(-r / lambda) / r;
+  const double u_cut = pref * std::exp(-params.cutoff / lambda) / params.cutoff;
+  out.energy = u_r - u_cut;
+  // −dU/dr = u_r (1/r + 1/λ)
+  const double f_over_r = u_r * (1.0 / r + 1.0 / lambda) / r;
+  out.force_on_i = dr * f_over_r;
+  return out;
+}
+
+EnergyForce nonbonded_pair(const Vec3& ri, const Vec3& rj, double qi, double qj, double sigma,
+                           const NonbondedParams& params) {
+  EnergyForce wca = wca_pair(ri, rj, sigma, params.epsilon_wca);
+  const EnergyForce dh = debye_huckel_pair(ri, rj, qi, qj, params);
+  wca.energy += dh.energy;
+  wca.force_on_i += dh.force_on_i;
+  return wca;
+}
+
+}  // namespace spice::md

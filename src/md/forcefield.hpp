@@ -1,0 +1,61 @@
+#pragma once
+// Force-field terms for the coarse-grained model.
+//
+// Bonded terms:   harmonic bond, harmonic angle.
+// Nonbonded:      WCA (purely repulsive Lennard-Jones) excluded volume,
+//                 Debye–Hückel screened electrostatics (implicit solvent +
+//                 implicit counter-ions — the substitution for explicit
+//                 water/ions in the paper's all-atom system).
+//
+// Every term provides energy AND force so that force = −∇U can be verified
+// by finite differences in the test suite.
+
+#include <span>
+
+#include "common/vec3.hpp"
+
+namespace spice::md {
+
+/// Parameters for the nonbonded interaction model.
+struct NonbondedParams {
+  double epsilon_wca = 0.5;   ///< WCA well depth, kcal/mol
+  double dielectric = 80.0;   ///< relative dielectric constant
+  double debye_length = 7.8;  ///< Debye screening length, Å (~150 mM salt)
+  double cutoff = 18.0;       ///< nonbonded cutoff, Å
+};
+
+/// Result of a pairwise/bonded term evaluation.
+struct EnergyForce {
+  double energy = 0.0;
+  Vec3 force_on_i;  ///< force on the first particle; reaction is −force_on_i
+};
+
+/// Harmonic bond U = k (r − r0)² between positions ri, rj.
+[[nodiscard]] EnergyForce harmonic_bond(const Vec3& ri, const Vec3& rj, double k, double r0);
+
+/// Harmonic angle U = k_theta (θ − θ0)² for the triple (ri, rj, rk) with
+/// apex at rj. Forces for all three sites are returned via out-params.
+double harmonic_angle(const Vec3& ri, const Vec3& rj, const Vec3& rk, double k_theta,
+                      double theta0, Vec3& fi, Vec3& fj, Vec3& fk);
+
+/// Periodic torsion U = k_phi (1 + cos(n φ − δ)) over the i-j-k-l chain;
+/// forces on all four sites via out-params (Blondel–Karplus geometry).
+/// Returns the energy; `phi_out`, if non-null, receives the dihedral angle.
+double periodic_dihedral(const Vec3& ri, const Vec3& rj, const Vec3& rk, const Vec3& rl,
+                         double k_phi, int multiplicity, double delta, Vec3& fi, Vec3& fj,
+                         Vec3& fk, Vec3& fl, double* phi_out = nullptr);
+
+/// WCA pair interaction with sigma = radius_i + radius_j.
+/// Zero beyond 2^(1/6)·sigma.
+[[nodiscard]] EnergyForce wca_pair(const Vec3& ri, const Vec3& rj, double sigma, double epsilon);
+
+/// Debye–Hückel pair: U = C qi qj exp(−r/λ) / (ε r), energy-shifted so that
+/// U(cutoff) = 0 (keeps the potential continuous at the cutoff).
+[[nodiscard]] EnergyForce debye_huckel_pair(const Vec3& ri, const Vec3& rj, double qi, double qj,
+                                            const NonbondedParams& params);
+
+/// Full nonbonded pair (WCA + Debye–Hückel) used by the engine inner loop.
+[[nodiscard]] EnergyForce nonbonded_pair(const Vec3& ri, const Vec3& rj, double qi, double qj,
+                                         double sigma, const NonbondedParams& params);
+
+}  // namespace spice::md

@@ -1,0 +1,90 @@
+#include "md/neighbor_list.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "md/topology.hpp"
+
+namespace spice::md {
+
+NeighborList::NeighborList(double cutoff, double skin) : cutoff_(cutoff), skin_(skin) {
+  SPICE_REQUIRE(cutoff > 0.0, "neighbour list cutoff must be positive");
+  SPICE_REQUIRE(skin > 0.0, "neighbour list skin must be positive");
+}
+
+bool NeighborList::needs_rebuild(std::span<const Vec3> positions) const {
+  if (reference_positions_.size() != positions.size()) return true;
+  const double limit2 = 0.25 * skin_ * skin_;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (distance2(positions[i], reference_positions_[i]) > limit2) return true;
+  }
+  return false;
+}
+
+bool NeighborList::maybe_rebuild(std::span<const Vec3> positions, const Topology& topology) {
+  if (!needs_rebuild(positions)) return false;
+  rebuild(positions, topology);
+  return true;
+}
+
+void NeighborList::rebuild(std::span<const Vec3> positions, const Topology& topology) {
+  SPICE_REQUIRE(positions.size() == topology.particle_count(),
+                "positions/topology size mismatch");
+  pairs_.clear();
+  reference_positions_.assign(positions.begin(), positions.end());
+  ++rebuilds_;
+  const std::size_t n = positions.size();
+  if (n < 2) return;
+
+  const double reach = cutoff_ + skin_;
+  const double reach2 = reach * reach;
+
+  // Cell grid keyed by quantized coordinates (open boundaries → sparse map).
+  const double cell = reach;
+  auto cell_of = [cell](const Vec3& r) {
+    const auto cx = static_cast<std::int64_t>(std::floor(r.x / cell));
+    const auto cy = static_cast<std::int64_t>(std::floor(r.y / cell));
+    const auto cz = static_cast<std::int64_t>(std::floor(r.z / cell));
+    return std::array<std::int64_t, 3>{cx, cy, cz};
+  };
+  auto key_of = [](const std::array<std::int64_t, 3>& c) {
+    // 21 bits per axis, offset to keep values positive.
+    constexpr std::int64_t kOffset = 1 << 20;
+    return static_cast<std::uint64_t>(((c[0] + kOffset) & 0x1fffff)) |
+           (static_cast<std::uint64_t>((c[1] + kOffset) & 0x1fffff) << 21) |
+           (static_cast<std::uint64_t>((c[2] + kOffset) & 0x1fffff) << 42);
+  };
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid;
+  grid.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid[key_of(cell_of(positions[i]))].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ci = cell_of(positions[i]);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dz = -1; dz <= 1; ++dz) {
+          const auto it = grid.find(key_of({ci[0] + dx, ci[1] + dy, ci[2] + dz}));
+          if (it == grid.end()) continue;
+          for (const std::uint32_t j : it->second) {
+            if (j <= i) continue;  // each pair once, i < j
+            if (distance2(positions[i], positions[j]) > reach2) continue;
+            if (topology.excluded(static_cast<ParticleIndex>(i), j)) continue;
+            pairs_.push_back({static_cast<std::uint32_t>(i), j});
+          }
+        }
+      }
+    }
+  }
+  // Deterministic pair order regardless of hash-map iteration quirks.
+  std::sort(pairs_.begin(), pairs_.end(), [](const NeighborPair& a, const NeighborPair& b) {
+    return a.i != b.i ? a.i < b.i : a.j < b.j;
+  });
+}
+
+}  // namespace spice::md

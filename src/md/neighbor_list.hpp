@@ -1,0 +1,52 @@
+#pragma once
+// Verlet neighbour list built from a uniform cell grid (open boundaries —
+// the translocation system is finite; there is no periodic box).
+//
+// The list stores all pairs within cutoff + skin and is rebuilt lazily:
+// the engine calls maybe_rebuild() each step and the list only rebuilds
+// when some particle has moved more than skin/2 since the last build, the
+// standard displacement criterion.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace spice::md {
+
+class Topology;
+
+struct NeighborPair {
+  std::uint32_t i;
+  std::uint32_t j;
+};
+
+class NeighborList {
+ public:
+  /// cutoff: interaction cutoff (Å); skin: extra shell (Å), > 0.
+  NeighborList(double cutoff, double skin);
+
+  /// Rebuild if any particle moved more than skin/2 since last build.
+  /// Returns true if a rebuild happened.
+  bool maybe_rebuild(std::span<const Vec3> positions, const Topology& topology);
+
+  /// Unconditionally rebuild.
+  void rebuild(std::span<const Vec3> positions, const Topology& topology);
+
+  [[nodiscard]] const std::vector<NeighborPair>& pairs() const { return pairs_; }
+  [[nodiscard]] double cutoff() const { return cutoff_; }
+  [[nodiscard]] double skin() const { return skin_; }
+  [[nodiscard]] std::size_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  [[nodiscard]] bool needs_rebuild(std::span<const Vec3> positions) const;
+
+  double cutoff_;
+  double skin_;
+  std::vector<NeighborPair> pairs_;
+  std::vector<Vec3> reference_positions_;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace spice::md

@@ -1,0 +1,79 @@
+#include "md/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spice::md {
+
+ParticleIndex Topology::add_particle(const Particle& p) {
+  SPICE_REQUIRE(p.mass > 0.0, "particle mass must be positive");
+  SPICE_REQUIRE(p.radius >= 0.0, "particle radius must be non-negative");
+  particles_.push_back(p);
+  return static_cast<ParticleIndex>(particles_.size() - 1);
+}
+
+void Topology::add_bond(const Bond& b) {
+  SPICE_REQUIRE(b.i < particles_.size() && b.j < particles_.size(), "bond index out of range");
+  SPICE_REQUIRE(b.i != b.j, "bond must join distinct particles");
+  SPICE_REQUIRE(b.k >= 0.0 && b.r0 >= 0.0, "bond parameters must be non-negative");
+  bonds_.push_back(b);
+  add_exclusion(b.i, b.j);
+}
+
+void Topology::add_angle(const Angle& a) {
+  SPICE_REQUIRE(a.i < particles_.size() && a.j < particles_.size() && a.k < particles_.size(),
+                "angle index out of range");
+  SPICE_REQUIRE(a.i != a.j && a.j != a.k && a.i != a.k, "angle needs distinct particles");
+  angles_.push_back(a);
+  add_exclusion(a.i, a.k);
+}
+
+void Topology::add_dihedral(const Dihedral& d) {
+  SPICE_REQUIRE(d.i < particles_.size() && d.j < particles_.size() &&
+                    d.k < particles_.size() && d.l < particles_.size(),
+                "dihedral index out of range");
+  SPICE_REQUIRE(d.i != d.j && d.j != d.k && d.k != d.l && d.i != d.k && d.i != d.l &&
+                    d.j != d.l,
+                "dihedral needs four distinct particles");
+  SPICE_REQUIRE(d.multiplicity >= 1, "dihedral multiplicity must be >= 1");
+  dihedrals_.push_back(d);
+  add_exclusion(d.i, d.l);
+}
+
+void Topology::add_exclusion(ParticleIndex i, ParticleIndex j) {
+  SPICE_REQUIRE(i < particles_.size() && j < particles_.size(), "exclusion index out of range");
+  SPICE_REQUIRE(i != j, "exclusion must name distinct particles");
+  exclusions_.push_back(pair_key(i, j));
+  exclusions_sorted_ = false;
+}
+
+bool Topology::excluded(ParticleIndex i, ParticleIndex j) const {
+  if (!exclusions_sorted_) {
+    auto& mut = const_cast<std::vector<std::uint64_t>&>(exclusions_);
+    std::sort(mut.begin(), mut.end());
+    mut.erase(std::unique(mut.begin(), mut.end()), mut.end());
+    exclusions_sorted_ = true;
+  }
+  return std::binary_search(exclusions_.begin(), exclusions_.end(), pair_key(i, j));
+}
+
+double Topology::total_mass() const {
+  double m = 0.0;
+  for (const auto& p : particles_) m += p.mass;
+  return m;
+}
+
+double Topology::total_charge() const {
+  double q = 0.0;
+  for (const auto& p : particles_) q += p.charge;
+  return q;
+}
+
+std::uint64_t Topology::pair_key(ParticleIndex i, ParticleIndex j) {
+  const auto lo = std::min(i, j);
+  const auto hi = std::max(i, j);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace spice::md

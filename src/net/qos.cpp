@@ -1,0 +1,40 @@
+#include "net/qos.hpp"
+
+namespace spice::net {
+
+QosSpec lightpath_transatlantic() {
+  return {.name = "lightpath-transatlantic",
+          .latency_ms = 45.0,
+          .jitter_ms = 0.05,
+          .loss_rate = 1e-6,
+          .bandwidth_mbps = 10000.0};
+}
+
+QosSpec production_internet_transatlantic() {
+  // Sustained single-flow TCP over a ~110 ms RTT path with real loss was a
+  // few Mbit/s in 2005 (Mathis: rate ≈ MSS/RTT · 1.22/√p); 8 Mbit/s is a
+  // generous multi-stream figure.
+  return {.name = "internet-transatlantic",
+          .latency_ms = 55.0,
+          .jitter_ms = 12.0,
+          .loss_rate = 0.003,
+          .bandwidth_mbps = 8.0};
+}
+
+QosSpec congested_internet() {
+  return {.name = "internet-congested",
+          .latency_ms = 80.0,
+          .jitter_ms = 40.0,
+          .loss_rate = 0.02,
+          .bandwidth_mbps = 2.0};
+}
+
+QosSpec local_area() {
+  return {.name = "lan",
+          .latency_ms = 0.1,
+          .jitter_ms = 0.01,
+          .loss_rate = 1e-7,
+          .bandwidth_mbps = 10000.0};
+}
+
+}  // namespace spice::net

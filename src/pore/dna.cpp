@@ -1,0 +1,38 @@
+#include "pore/dna.hpp"
+
+#include <numbers>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace spice::pore {
+
+DnaChain build_ssdna(const DnaParams& params, double head_z) {
+  SPICE_REQUIRE(params.nucleotides >= 2, "an ssDNA chain needs at least two beads");
+  SPICE_REQUIRE(params.bond_length > 0.0, "bond length must be positive");
+
+  DnaChain chain;
+  chain.params = params;
+  for (std::size_t n = 0; n < params.nucleotides; ++n) {
+    spice::md::Particle bead;
+    bead.mass = params.bead_mass;
+    bead.charge = params.bead_charge;
+    bead.radius = params.bead_radius;
+    bead.name = "NT" + std::to_string(n);
+    const auto index = chain.topology.add_particle(bead);
+    chain.selection.push_back(index);
+    chain.positions.push_back({0.0, 0.0, head_z + static_cast<double>(n) * params.bond_length});
+  }
+  for (std::size_t n = 0; n + 1 < params.nucleotides; ++n) {
+    chain.topology.add_bond({chain.selection[n], chain.selection[n + 1],
+                             params.bond_stiffness, params.bond_length});
+  }
+  for (std::size_t n = 0; n + 2 < params.nucleotides; ++n) {
+    chain.topology.add_angle({chain.selection[n], chain.selection[n + 1],
+                              chain.selection[n + 2], params.angle_stiffness,
+                              std::numbers::pi});
+  }
+  return chain;
+}
+
+}  // namespace spice::pore

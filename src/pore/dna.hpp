@@ -1,0 +1,46 @@
+#pragma once
+// Coarse-grained single-stranded DNA builder.
+//
+// One bead per nucleotide (the resolution at which the paper's observables
+// — COM displacement along the pore axis, strand stretching — live):
+// mass ≈ 330 g/mol, charge −1 e (one phosphate), WCA radius ≈ 3 Å,
+// harmonic backbone bonds at the ~6.5 Å inter-phosphate spacing of ssDNA,
+// and a weak angle term for the short persistence length of single strands.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/topology.hpp"
+
+namespace spice::pore {
+
+struct DnaParams {
+  std::size_t nucleotides = 12;
+  double bead_mass = 330.0;       ///< g/mol
+  double bead_charge = -1.0;      ///< e
+  double bead_radius = 3.0;       ///< Å (WCA radius; pair sigma = 6 Å)
+  double bond_length = 6.5;       ///< Å
+  double bond_stiffness = 20.0;   ///< kcal/mol/Å² (U = k (r−r0)²)
+  double angle_stiffness = 2.0;   ///< kcal/mol/rad² (ssDNA is flexible)
+};
+
+/// A built chain: topology plus a straight initial conformation threaded
+/// through the pore the way the paper's Fig. 1 snapshot shows: the head
+/// (first) bead is the LOWEST, at z = head_z inside the barrel, and the
+/// rest of the strand extends upward (+z) through the constriction into
+/// the cis vestibule. Pulling the head down (−z) therefore drags the
+/// strand through the constriction — the Fig. 3 scenario.
+struct DnaChain {
+  spice::md::Topology topology;
+  std::vector<spice::Vec3> positions;
+  std::vector<std::uint32_t> selection;  ///< all bead indices, head first
+  DnaParams params;
+};
+
+/// Build an ssDNA chain of `params.nucleotides` beads. The chain is laid
+/// out along the pore axis (x = y = 0) with the head (first) bead at
+/// z = head_z and subsequent beads ABOVE it at the bond rest length.
+[[nodiscard]] DnaChain build_ssdna(const DnaParams& params, double head_z);
+
+}  // namespace spice::pore

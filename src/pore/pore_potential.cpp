@@ -1,0 +1,119 @@
+#include "pore/pore_potential.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace spice::pore {
+
+PorePotential::PorePotential(RadiusProfile profile, PoreParams params)
+    : profile_(std::move(profile)), params_(params) {
+  SPICE_REQUIRE(params_.wall_stiffness > 0.0, "wall stiffness must be positive");
+  SPICE_REQUIRE(params_.membrane_hi > params_.membrane_lo, "membrane slab must have hi > lo");
+  SPICE_REQUIRE(params_.affinity_width > 0.0, "affinity width must be positive");
+}
+
+double PorePotential::field_fraction(double z, double& dfdz) const {
+  // Smoothstep from 0 (at/below membrane_lo) to 1 (at/above membrane_hi).
+  const double lo = params_.membrane_lo;
+  const double hi = params_.membrane_hi;
+  if (z <= lo) {
+    dfdz = 0.0;
+    return 0.0;
+  }
+  if (z >= hi) {
+    dfdz = 0.0;
+    return 1.0;
+  }
+  const double t = (z - lo) / (hi - lo);
+  dfdz = (6.0 * t - 6.0 * t * t) / (hi - lo);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+double PorePotential::barrel_envelope(double z, double& dmdz) const {
+  const double lo = params_.membrane_lo;
+  const double hi = params_.membrane_hi;
+  const double w = params_.site_edge_width;
+  dmdz = 0.0;
+  if (z <= lo || z >= hi) return 0.0;
+  auto smooth = [](double t, double& dt) {
+    if (t <= 0.0) {
+      dt = 0.0;
+      return 0.0;
+    }
+    if (t >= 1.0) {
+      dt = 0.0;
+      return 1.0;
+    }
+    dt = 6.0 * t - 6.0 * t * t;
+    return t * t * (3.0 - 2.0 * t);
+  };
+  double d_up = 0.0;
+  double d_down = 0.0;
+  const double up = smooth((z - lo) / w, d_up);
+  const double down = smooth((hi - z) / w, d_down);
+  dmdz = (d_up / w) * down - up * (d_down / w);
+  return up * down;
+}
+
+double PorePotential::particle_energy_force(const Vec3& r, double charge, Vec3& f) const {
+  double energy = 0.0;
+  f = Vec3{};
+
+  // 1. Confinement wall.
+  const double rho2 = r.x * r.x + r.y * r.y;
+  const double radius = profile_.radius(r.z);
+  if (rho2 > radius * radius) {
+    const double rho = std::sqrt(rho2);
+    const double over = rho - radius;
+    const double k = params_.wall_stiffness;
+    energy += k * over * over;
+    const double f_rho = -2.0 * k * over;       // radial force (inward)
+    f.x += f_rho * r.x / rho;
+    f.y += f_rho * r.y / rho;
+    f.z += 2.0 * k * over * profile_.radius_derivative(r.z);
+  }
+
+  // 2. Transmembrane field: electric potential φ(z) = V·(1 − s(z)) with
+  // s: 0 at the trans side, 1 at the cis side. U = q·φ.
+  if (charge != 0.0 && params_.voltage_mv != 0.0) {
+    double dsdz = 0.0;
+    const double s = field_fraction(r.z, dsdz);
+    const double v_kcal = units::voltage_mv_to_kcal_per_e(params_.voltage_mv);
+    energy += charge * v_kcal * (1.0 - s);
+    f.z -= charge * v_kcal * (-dsdz);  // F = −dU/dz = q·V·ds/dz
+  }
+
+  // 3. Barrel affinity well.
+  if (params_.affinity != 0.0) {
+    const double w = params_.affinity_width;
+    const double dz = r.z - params_.affinity_center;
+    const double gauss = std::exp(-0.5 * dz * dz / (w * w));
+    energy += -params_.affinity * gauss;
+    f.z += -params_.affinity * gauss * dz / (w * w);  // F = −dU/dz
+  }
+
+  // 4. Binding-site corrugation: U = −A cos(2π(z − z_lo)/P) · m(z).
+  if (params_.site_amplitude != 0.0) {
+    const double k = 2.0 * std::numbers::pi / params_.site_period;
+    const double phase = k * (r.z - params_.membrane_lo);
+    double dmdz = 0.0;
+    const double m = barrel_envelope(r.z, dmdz);
+    if (m > 0.0 || dmdz != 0.0) {
+      const double a = params_.site_amplitude;
+      energy += -a * std::cos(phase) * m;
+      // dU/dz = a k sin(phase) m − a cos(phase) dm/dz ; F = −dU/dz.
+      f.z += -(a * k * std::sin(phase) * m - a * std::cos(phase) * dmdz);
+    }
+  }
+
+  return energy;
+}
+
+std::shared_ptr<PorePotential> make_hemolysin_pore(PoreParams params) {
+  return std::make_shared<PorePotential>(hemolysin_profile(), params);
+}
+
+}  // namespace spice::pore

@@ -1,0 +1,69 @@
+#pragma once
+// Implicit pore + membrane + transmembrane-field potential.
+//
+// This replaces the paper's explicit alpha-hemolysin/lipid-bilayer system
+// (DESIGN.md §2). Three per-particle terms:
+//
+//  1. Confinement wall: U = k_wall · max(0, ρ − R(z))², where ρ is the
+//     distance from the pore axis and R(z) the lumen radius profile. In
+//     bulk the profile is wide (a loose container); inside the membrane
+//     the narrow profile makes crossing anywhere but the lumen
+//     energetically impossible — exactly the role of the bilayer.
+//  2. Transmembrane field: charged particles gain q·V as they cross the
+//     slab; the potential ramps smoothly across [slab_lo, slab_hi]. This
+//     is the electrophoretic driving force of the nanopore experiments.
+//  3. Pore–DNA affinity: a smooth attractive well of depth `affinity`
+//     inside the barrel, standing in for the DNA–wall interactions that
+//     shape the PMF fine structure.
+
+#include <memory>
+
+#include "md/force_contribution.hpp"
+#include "pore/profile.hpp"
+
+namespace spice::pore {
+
+struct PoreParams {
+  double wall_stiffness = 5.0;   ///< kcal/mol/Å² (k_wall)
+  double membrane_lo = -50.0;    ///< slab lower z, Å
+  double membrane_hi = 0.0;      ///< slab upper z, Å
+  double voltage_mv = 120.0;     ///< transmembrane potential, mV (trans positive)
+  double affinity = 3.0;         ///< barrel attraction depth per bead, kcal/mol
+  double affinity_center = -25.0;  ///< z of the attraction well centre, Å
+  double affinity_width = 20.0;  ///< gaussian width of the well, Å
+  /// Binding-site corrugation inside the barrel: nucleotides interact with
+  /// the pore-lining residues at a roughly regular axial spacing; the PMF
+  /// fine structure this creates is what the Fig. 4 parameter study probes
+  /// (weak springs smear it, fast pulls over-run it).
+  double site_amplitude = 1.5;   ///< kcal/mol per bead
+  double site_period = 6.5;      ///< Å (≈ inter-nucleotide spacing)
+  double site_edge_width = 4.0;  ///< envelope roll-off at the slab edges, Å
+};
+
+/// Per-particle pore potential; register with Engine::add_contribution.
+class PorePotential final : public spice::md::PerParticlePotential {
+ public:
+  PorePotential(RadiusProfile profile, PoreParams params);
+
+  [[nodiscard]] std::string name() const override { return "pore"; }
+  [[nodiscard]] const RadiusProfile& profile() const { return profile_; }
+  [[nodiscard]] const PoreParams& params() const { return params_; }
+
+  /// Energy/force for a single site (exposed for tests and the PMF
+  /// reference calculation).
+  [[nodiscard]] double particle_energy_force(const spice::Vec3& r, double charge,
+                                             spice::Vec3& f) const override;
+
+ private:
+  [[nodiscard]] double field_fraction(double z, double& dfdz) const;
+  /// Smooth 0→1→0 envelope confining the binding-site term to the barrel.
+  [[nodiscard]] double barrel_envelope(double z, double& dmdz) const;
+
+  RadiusProfile profile_;
+  PoreParams params_;
+};
+
+/// Convenience: hemolysin profile + default parameters.
+[[nodiscard]] std::shared_ptr<PorePotential> make_hemolysin_pore(PoreParams params = {});
+
+}  // namespace spice::pore

@@ -1,0 +1,96 @@
+#include "pore/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spice::pore {
+
+RadiusProfile::RadiusProfile(std::vector<ProfilePoint> points) : points_(std::move(points)) {
+  SPICE_REQUIRE(points_.size() >= 2, "radius profile needs at least two control points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    SPICE_REQUIRE(points_[i].z > points_[i - 1].z, "control points must have increasing z");
+    SPICE_REQUIRE(points_[i].radius > 0.0, "radii must be positive");
+  }
+  SPICE_REQUIRE(points_.front().radius > 0.0, "radii must be positive");
+
+  // Catmull-Rom tangents with clamped (zero-slope) ends.
+  const std::size_t n = points_.size();
+  std::vector<double> tangents(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    tangents[i] =
+        (points_[i + 1].radius - points_[i - 1].radius) / (points_[i + 1].z - points_[i - 1].z);
+  }
+  segments_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    segments_.push_back(Segment{points_[i].z, points_[i + 1].z, points_[i].radius,
+                                points_[i + 1].radius, tangents[i], tangents[i + 1]});
+  }
+}
+
+const RadiusProfile::Segment& RadiusProfile::segment_for(double z) const {
+  // Binary search for the segment containing z (clamped to range).
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), z,
+                             [](double value, const Segment& s) { return value < s.z1; });
+  if (it == segments_.end()) --it;
+  return *it;
+}
+
+double RadiusProfile::radius(double z) const {
+  if (z <= points_.front().z) return points_.front().radius;
+  if (z >= points_.back().z) return points_.back().radius;
+  const Segment& s = segment_for(z);
+  const double h = s.z1 - s.z0;
+  const double t = (z - s.z0) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  // Cubic Hermite basis.
+  return (2 * t3 - 3 * t2 + 1) * s.r0 + (t3 - 2 * t2 + t) * h * s.m0 +
+         (-2 * t3 + 3 * t2) * s.r1 + (t3 - t2) * h * s.m1;
+}
+
+double RadiusProfile::radius_derivative(double z) const {
+  if (z <= points_.front().z || z >= points_.back().z) return 0.0;
+  const Segment& s = segment_for(z);
+  const double h = s.z1 - s.z0;
+  const double t = (z - s.z0) / h;
+  const double t2 = t * t;
+  const double dt = 1.0 / h;
+  return ((6 * t2 - 6 * t) * s.r0 + (3 * t2 - 4 * t + 1) * h * s.m0 +
+          (-6 * t2 + 6 * t) * s.r1 + (3 * t2 - 2 * t) * h * s.m1) *
+         dt;
+}
+
+ProfilePoint RadiusProfile::constriction() const {
+  ProfilePoint best{points_.front().z, radius(points_.front().z)};
+  const double z0 = points_.front().z;
+  const double z1 = points_.back().z;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i <= kSamples; ++i) {
+    const double z = z0 + (z1 - z0) * static_cast<double>(i) / kSamples;
+    const double r = radius(z);
+    if (r < best.radius) best = {z, r};
+  }
+  return best;
+}
+
+RadiusProfile hemolysin_profile() {
+  // Control points chosen to match the published hemolysin lumen geometry
+  // at coarse resolution: wide cis mouth, ~22 Å vestibule, ~7 Å
+  // constriction at z = 0, ~10 Å beta-barrel through the membrane,
+  // opening to the trans side.
+  return RadiusProfile({
+      {-75.0, 35.0},  // trans bulk
+      {-60.0, 20.0},  // trans mouth
+      {-50.0, 10.5},  // barrel exit
+      {-25.0, 9.5},   // mid barrel
+      {0.0, 7.0},     // constriction
+      {10.0, 12.0},   // lower vestibule
+      {30.0, 22.0},   // vestibule
+      {50.0, 26.0},   // cis mouth
+      {70.0, 35.0},   // cis bulk
+  });
+}
+
+}  // namespace spice::pore

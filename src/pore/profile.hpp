@@ -1,0 +1,54 @@
+#pragma once
+// Axisymmetric pore radius profile R(z).
+//
+// The alpha-hemolysin channel (paper Fig. 1) is approximated by its
+// accessible-lumen radius along the pore axis: a wide cis vestibule
+// (~22 Å), a ~7 Å constriction at the vestibule–barrel junction, and a
+// ~10 Å beta-barrel spanning the membrane. The profile is a C¹ Catmull-Rom
+// interpolation of control points so wall forces are continuous.
+
+#include <vector>
+
+namespace spice::pore {
+
+struct ProfilePoint {
+  double z = 0.0;       ///< axial coordinate, Å
+  double radius = 0.0;  ///< lumen radius at z, Å
+};
+
+/// C¹ radius profile from control points (strictly increasing z).
+/// Outside the control range the profile is clamped to the end radii.
+class RadiusProfile {
+ public:
+  explicit RadiusProfile(std::vector<ProfilePoint> points);
+
+  /// Lumen radius at axial position z, Å.
+  [[nodiscard]] double radius(double z) const;
+  /// dR/dz at z (continuous; zero outside the control range).
+  [[nodiscard]] double radius_derivative(double z) const;
+
+  [[nodiscard]] double z_min() const { return points_.front().z; }
+  [[nodiscard]] double z_max() const { return points_.back().z; }
+  [[nodiscard]] const std::vector<ProfilePoint>& control_points() const { return points_; }
+
+  /// The narrowest point of the profile: sampled argmin of R(z).
+  [[nodiscard]] ProfilePoint constriction() const;
+
+ private:
+  struct Segment {
+    double z0, z1;    // segment range
+    double r0, r1;    // radii at ends
+    double m0, m1;    // tangents dR/dz at ends
+  };
+  [[nodiscard]] const Segment& segment_for(double z) const;
+
+  std::vector<ProfilePoint> points_;
+  std::vector<Segment> segments_;
+};
+
+/// The default alpha-hemolysin-like profile used throughout the
+/// reproduction: cis mouth at z ≈ +40, constriction (R ≈ 7 Å) at z = 0,
+/// beta-barrel (R ≈ 10 Å) down to z ≈ −50, trans exit below.
+[[nodiscard]] RadiusProfile hemolysin_profile();
+
+}  // namespace spice::pore

@@ -1,0 +1,19 @@
+#include "pore/system.hpp"
+
+namespace spice::pore {
+
+TranslocationSystem build_translocation_system(const TranslocationConfig& config) {
+  DnaChain chain = build_ssdna(config.dna, config.head_z);
+  auto pore = make_hemolysin_pore(config.pore);
+
+  spice::md::Engine engine(std::move(chain.topology), config.nonbonded, config.md);
+  engine.set_positions(chain.positions);
+  engine.add_contribution(pore);
+  engine.initialize_velocities(config.md.temperature);
+  if (config.equilibration_steps > 0) engine.step(config.equilibration_steps);
+
+  return TranslocationSystem{std::move(engine), std::move(pore), std::move(chain.selection),
+                             config};
+}
+
+}  // namespace spice::pore

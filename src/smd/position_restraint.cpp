@@ -1,0 +1,50 @@
+#include "smd/position_restraint.hpp"
+
+#include "common/error.hpp"
+#include "md/engine.hpp"
+
+namespace spice::smd {
+
+PositionRestraint::PositionRestraint(std::vector<std::uint32_t> atoms, double stiffness,
+                                     Vec3 mask)
+    : atoms_(std::move(atoms)), stiffness_(stiffness), mask_(mask) {
+  SPICE_REQUIRE(!atoms_.empty(), "position restraint needs atoms");
+  SPICE_REQUIRE(stiffness_ > 0.0, "position-restraint stiffness must be positive");
+  SPICE_REQUIRE((mask_.x == 0.0 || mask_.x == 1.0) && (mask_.y == 0.0 || mask_.y == 1.0) &&
+                    (mask_.z == 0.0 || mask_.z == 1.0),
+                "mask components must be 0 or 1");
+  SPICE_REQUIRE(mask_.norm2() > 0.0, "mask must restrain at least one axis");
+}
+
+void PositionRestraint::attach(const spice::md::Engine& engine) {
+  std::vector<Vec3> anchors;
+  anchors.reserve(atoms_.size());
+  for (const auto i : atoms_) {
+    SPICE_REQUIRE(i < engine.positions().size(), "restrained atom out of range");
+    anchors.push_back(engine.positions()[i]);
+  }
+  attach_anchors(std::move(anchors));
+}
+
+void PositionRestraint::attach_anchors(std::vector<Vec3> anchors) {
+  SPICE_REQUIRE(anchors.size() == atoms_.size(), "anchor count must match atom count");
+  anchors_ = std::move(anchors);
+  attached_ = true;
+}
+
+double PositionRestraint::add_forces(std::span<const Vec3> positions,
+                                     const spice::md::Topology& /*topology*/,
+                                     double /*time*/, std::span<Vec3> forces) {
+  SPICE_REQUIRE(attached_, "PositionRestraint used before attach()");
+  double energy = 0.0;
+  for (std::size_t n = 0; n < atoms_.size(); ++n) {
+    const std::uint32_t i = atoms_[n];
+    Vec3 dev = positions[i] - anchors_[n];
+    dev = {dev.x * mask_.x, dev.y * mask_.y, dev.z * mask_.z};
+    energy += 0.5 * stiffness_ * dev.norm2();
+    forces[i] += dev * (-stiffness_);
+  }
+  return energy;
+}
+
+}  // namespace spice::smd

@@ -1,0 +1,51 @@
+#pragma once
+// Per-atom position restraints.
+//
+// The paper's interactive phase uses the haptic exploration "to determine
+// suitable constraints to place" (§III) — in production those become
+// position restraints pinning parts of the system (e.g. holding the pore
+// scaffold, or anchoring the strand's tail while the head is pulled).
+// U = ½ k Σ_i |r_i − r_i⁰|², with per-axis masks so a restraint can pin
+// only the lateral (x, y) coordinates while leaving z free.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/force_contribution.hpp"
+
+namespace spice::md {
+class Engine;
+}
+
+namespace spice::smd {
+
+class PositionRestraint final : public spice::md::ForceContribution {
+ public:
+  /// Restrain `atoms` with stiffness k (kcal/mol/Å²). `mask` selects the
+  /// restrained axes (1 = restrained, 0 = free); default pins all three.
+  PositionRestraint(std::vector<std::uint32_t> atoms, double stiffness,
+                    Vec3 mask = {1.0, 1.0, 1.0});
+
+  /// Capture the anchor positions from the engine's current state.
+  void attach(const spice::md::Engine& engine);
+  /// Use explicit anchors (must match the atom count).
+  void attach_anchors(std::vector<Vec3> anchors);
+
+  [[nodiscard]] bool attached() const { return attached_; }
+  [[nodiscard]] double stiffness() const { return stiffness_; }
+  [[nodiscard]] const std::vector<Vec3>& anchors() const { return anchors_; }
+
+  double add_forces(std::span<const Vec3> positions, const spice::md::Topology& topology,
+                    double time, std::span<Vec3> forces) override;
+  [[nodiscard]] std::string name() const override { return "posres"; }
+
+ private:
+  std::vector<std::uint32_t> atoms_;
+  double stiffness_;
+  Vec3 mask_;
+  std::vector<Vec3> anchors_;
+  bool attached_ = false;
+};
+
+}  // namespace spice::smd

@@ -1,0 +1,133 @@
+#include "smd/pulling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "md/observables.hpp"
+
+namespace spice::smd {
+
+double SmdParams::spring_internal() const {
+  return units::spring_pn_per_angstrom(spring_pn_per_angstrom);
+}
+
+double SmdParams::velocity_internal() const {
+  return units::velocity_angstrom_per_ns(velocity_angstrom_per_ns);
+}
+
+ConstantVelocityPull::ConstantVelocityPull(SmdParams params) : params_(std::move(params)) {
+  SPICE_REQUIRE(params_.spring_pn_per_angstrom > 0.0, "SMD spring constant must be positive");
+  SPICE_REQUIRE(params_.velocity_angstrom_per_ns > 0.0, "SMD velocity must be positive");
+  SPICE_REQUIRE(!params_.smd_atoms.empty(), "SMD needs at least one pulled atom");
+  SPICE_REQUIRE(params_.direction.norm() > 0.0, "SMD direction must be non-zero");
+  direction_ = params_.direction.normalized();
+  kappa_ = params_.spring_internal();
+  velocity_ = params_.velocity_internal();
+}
+
+void ConstantVelocityPull::attach(const spice::md::Engine& engine) {
+  com_reference_ =
+      spice::md::center_of_mass(engine.positions(), engine.topology(), params_.smd_atoms);
+  attach_time_ = engine.time();
+  last_time_ = attach_time_;
+  last_lambda_ = 0.0;
+  last_xi_ = 0.0;
+  work_ = 0.0;
+  selection_mass_ = 0.0;
+  for (const auto i : params_.smd_atoms) {
+    selection_mass_ += engine.topology().particles()[i].mass;
+  }
+  attached_ = true;
+}
+
+double ConstantVelocityPull::add_forces(std::span<const Vec3> positions,
+                                        const spice::md::Topology& topology, double time,
+                                        std::span<Vec3> forces) {
+  SPICE_REQUIRE(attached_, "ConstantVelocityPull used before attach()");
+  const Vec3 com = spice::md::center_of_mass(positions, topology, params_.smd_atoms);
+  const double xi = dot(com - com_reference_, direction_);
+  const double lambda =
+      velocity_ * std::max(0.0, time - attach_time_ - params_.hold_ps);
+
+  // Accumulate external work dW = κ(λ − ξ) dλ only when simulation time
+  // has advanced (the engine may evaluate forces repeatedly at the same
+  // time, e.g. for energy reports; those must not double-count). During a
+  // hold phase dλ = 0, so no work accrues.
+  if (time > last_time_) {
+    work_ += kappa_ * (lambda - xi) * (lambda - last_lambda_);
+    last_time_ = time;
+  }
+  last_lambda_ = lambda;
+  last_xi_ = xi;
+
+  // Spring force on the COM along the pull direction, distributed
+  // mass-weighted over the SMD atoms (a force f on the COM corresponds to
+  // f·(m_i / M) on each member).
+  const double f_com = kappa_ * (lambda - xi);
+  const auto& particles = topology.particles();
+  for (const auto i : params_.smd_atoms) {
+    forces[i] += direction_ * (f_com * particles[i].mass / selection_mass_);
+  }
+  const double dev = xi - lambda;
+  return 0.5 * kappa_ * dev * dev;
+}
+
+double ConstantVelocityPull::spring_force() const { return kappa_ * (last_lambda_ - last_xi_); }
+
+ConstantForcePull::ConstantForcePull(std::vector<std::uint32_t> atoms, Vec3 force)
+    : atoms_(std::move(atoms)), force_(force) {
+  SPICE_REQUIRE(!atoms_.empty(), "constant-force pull needs at least one atom");
+}
+
+double ConstantForcePull::add_forces(std::span<const Vec3> positions,
+                                     const spice::md::Topology& topology, double /*time*/,
+                                     std::span<Vec3> forces) {
+  double selection_mass = 0.0;
+  const auto& particles = topology.particles();
+  for (const auto i : atoms_) {
+    SPICE_REQUIRE(i < positions.size(), "constant-force atom out of range");
+    selection_mass += particles[i].mass;
+  }
+  for (const auto i : atoms_) {
+    forces[i] += force_ * (particles[i].mass / selection_mass);
+  }
+  // A constant force has no well-defined absolute potential; report 0 so
+  // it does not pollute energy-conservation checks (documented behaviour).
+  return 0.0;
+}
+
+PullResult run_pull(spice::md::Engine& engine, ConstantVelocityPull& pull, double distance,
+                    std::size_t sample_every) {
+  SPICE_REQUIRE(pull.attached(), "run_pull needs an attached pull");
+  SPICE_REQUIRE(distance > 0.0, "pull distance must be positive");
+  SPICE_REQUIRE(sample_every > 0, "sample_every must be positive");
+
+  PullResult result;
+  auto record = [&] {
+    PullSample s;
+    s.time = engine.time();
+    s.lambda = pull.lambda();
+    s.xi = pull.xi();
+    s.force = pull.spring_force();
+    s.work = pull.work();
+    result.samples.push_back(s);
+  };
+
+  const double dt = engine.config().dt;
+  const double v = pull.params().velocity_internal();
+  const auto total_steps = static_cast<std::uint64_t>(
+      std::ceil((distance / v + pull.params().hold_ps) / dt));
+
+  record();  // λ = 0 starting point
+  for (std::uint64_t s = 0; s < total_steps; ++s) {
+    engine.step();
+    if ((s + 1) % sample_every == 0 || s + 1 == total_steps) record();
+  }
+  result.pulled_distance = pull.lambda();
+  result.steps = total_steps;
+  return result;
+}
+
+}  // namespace spice::smd

@@ -1,0 +1,64 @@
+#include "smd/restraint.hpp"
+
+#include "common/error.hpp"
+#include "md/engine.hpp"
+#include "md/observables.hpp"
+
+namespace spice::smd {
+
+StaticRestraint::StaticRestraint(std::vector<std::uint32_t> atoms, Vec3 direction, double kappa,
+                                 double center)
+    : atoms_(std::move(atoms)),
+      direction_(direction.normalized()),
+      kappa_(kappa),
+      center_(center) {
+  SPICE_REQUIRE(!atoms_.empty(), "restraint needs at least one atom");
+  SPICE_REQUIRE(kappa_ > 0.0, "restraint stiffness must be positive");
+  SPICE_REQUIRE(direction.norm() > 0.0, "restraint direction must be non-zero");
+}
+
+void StaticRestraint::attach(const spice::md::Engine& engine) {
+  attach_reference(
+      spice::md::center_of_mass(engine.positions(), engine.topology(), atoms_));
+}
+
+void StaticRestraint::attach_reference(const Vec3& com_reference) {
+  com_reference_ = com_reference;
+  attached_ = true;
+}
+
+void StaticRestraint::reset_statistics() {
+  xi_stats_.reset();
+  force_stats_.reset();
+  xi_samples_.clear();
+}
+
+double StaticRestraint::add_forces(std::span<const Vec3> positions,
+                                   const spice::md::Topology& topology, double time,
+                                   std::span<Vec3> forces) {
+  SPICE_REQUIRE(attached_, "StaticRestraint used before attach()");
+  const Vec3 com = spice::md::center_of_mass(positions, topology, atoms_);
+  const double xi = dot(com - com_reference_, direction_);
+  last_xi_ = xi;
+
+  // Collect statistics once per simulation step: the engine may evaluate
+  // forces more than once at the same time stamp.
+  if (time != last_time_) {
+    xi_stats_.add(xi);
+    force_stats_.add(kappa_ * (center_ - xi));
+    if (record_samples_) xi_samples_.push_back(xi);
+    last_time_ = time;
+  }
+
+  const double dev = xi - center_;
+  double selection_mass = 0.0;
+  const auto& particles = topology.particles();
+  for (const auto i : atoms_) selection_mass += particles[i].mass;
+  const double f_com = -kappa_ * dev;
+  for (const auto i : atoms_) {
+    forces[i] += direction_ * (f_com * particles[i].mass / selection_mass);
+  }
+  return 0.5 * kappa_ * dev * dev;
+}
+
+}  // namespace spice::smd

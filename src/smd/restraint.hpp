@@ -1,0 +1,70 @@
+#pragma once
+// Static harmonic restraint on the COM reaction coordinate — the umbrella
+// potential used by the WHAM reference calculation and the fixed-λ
+// restraint used by thermodynamic integration (the paper's named
+// extension, Conclusion §VI).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "common/vec3.hpp"
+#include "md/force_contribution.hpp"
+
+namespace spice::md {
+class Engine;
+}
+
+namespace spice::smd {
+
+/// U = ½ κ (ξ − center)², with ξ the COM displacement of `atoms` along
+/// `direction` measured from an attach-time reference (same coordinate
+/// definition as ConstantVelocityPull, so umbrella windows and pulls share
+/// a reaction coordinate).
+class StaticRestraint final : public spice::md::ForceContribution {
+ public:
+  /// kappa in internal units (kcal/mol/Å²).
+  StaticRestraint(std::vector<std::uint32_t> atoms, Vec3 direction, double kappa, double center);
+
+  /// Fix the ξ = 0 reference at the engine's current COM. Call once.
+  void attach(const spice::md::Engine& engine);
+  /// Reuse an externally established reference COM (so that all umbrella
+  /// windows share one origin).
+  void attach_reference(const Vec3& com_reference);
+
+  void set_center(double center) { center_ = center; }
+  [[nodiscard]] double center() const { return center_; }
+  [[nodiscard]] double kappa() const { return kappa_; }
+  /// ξ at the last force evaluation.
+  [[nodiscard]] double xi() const { return last_xi_; }
+  /// Statistics of ξ collected since the last reset_statistics().
+  [[nodiscard]] const spice::RunningStats& xi_stats() const { return xi_stats_; }
+  /// Statistics of the restraint force κ(center − ξ) (for TI mean force).
+  [[nodiscard]] const spice::RunningStats& force_stats() const { return force_stats_; }
+  void reset_statistics();
+  /// Raw ξ samples recorded at every evaluation since the last reset
+  /// (consumed by WHAM histograms).
+  [[nodiscard]] const std::vector<double>& xi_samples() const { return xi_samples_; }
+  /// Enable/disable per-evaluation ξ recording (off by default).
+  void set_record_samples(bool record) { record_samples_ = record; }
+
+  double add_forces(std::span<const Vec3> positions, const spice::md::Topology& topology,
+                    double time, std::span<Vec3> forces) override;
+  [[nodiscard]] std::string name() const override { return "restraint"; }
+
+ private:
+  std::vector<std::uint32_t> atoms_;
+  Vec3 direction_;
+  double kappa_;
+  double center_;
+  bool attached_ = false;
+  Vec3 com_reference_;
+  double last_xi_ = 0.0;
+  double last_time_ = -1.0;
+  bool record_samples_ = false;
+  spice::RunningStats xi_stats_;
+  spice::RunningStats force_stats_;
+  std::vector<double> xi_samples_;
+};
+
+}  // namespace spice::smd

@@ -1,0 +1,174 @@
+#include "spice/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "fe/pmf.hpp"
+#include "fe/wham.hpp"
+#include "md/observables.hpp"
+#include "smd/restraint.hpp"
+
+namespace spice::core {
+
+namespace {
+/// The strand's head bead: the paper steers the C3' atom of the leading
+/// nucleotide; the coarse-grained equivalent is bead 0.
+constexpr std::uint32_t kHeadBead = 0;
+const Vec3 kPullDirection{0.0, 0.0, -1.0};
+}  // namespace
+
+SweepConfig::SweepConfig() {
+  // The sweep equilibrates one master system itself.
+  system.equilibration_steps = 3000;
+}
+
+void SweepConfig::use_small_system() {
+  system.dna.nucleotides = 6;
+  system.equilibration_steps = 500;
+}
+
+std::size_t SweepConfig::samples_for(double velocity_ns) const {
+  SPICE_REQUIRE(!velocities_ns.empty(), "sweep has no velocities");
+  const double v_min = *std::min_element(velocities_ns.begin(), velocities_ns.end());
+  const double scaled = static_cast<double>(samples_at_slowest) * velocity_ns / v_min;
+  return std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(scaled)));
+}
+
+spice::smd::PullResult run_single_pull(const spice::pore::TranslocationSystem& master,
+                                       const SweepConfig& config, double kappa_pn,
+                                       double velocity_ns, std::uint64_t replica_seed) {
+  spice::md::Engine engine = master.engine.clone(replica_seed);
+
+  spice::smd::SmdParams params;
+  params.spring_pn_per_angstrom = kappa_pn;
+  params.velocity_angstrom_per_ns = velocity_ns;
+  params.direction = kPullDirection;
+  params.smd_atoms = {kHeadBead};
+  auto pull = std::make_shared<spice::smd::ConstantVelocityPull>(params);
+  pull->attach(engine);
+  engine.add_contribution(pull);
+
+  return spice::smd::run_pull(engine, *pull, config.pull_distance, config.sample_every);
+}
+
+spice::smd::PullResult run_reverse_pull(const spice::pore::TranslocationSystem& master,
+                                        const SweepConfig& config, double kappa_pn,
+                                        double velocity_ns, std::uint64_t replica_seed) {
+  spice::md::Engine engine = master.engine.clone(replica_seed);
+
+  // Drag-and-equilibrate to the forward end point with a stiff restraint
+  // along the same coordinate (measured from this clone's current COM).
+  const Vec3 com0 = spice::md::center_of_mass(engine.positions(), engine.topology(),
+                                              std::vector<std::uint32_t>{kHeadBead});
+  auto hold = std::make_shared<spice::smd::StaticRestraint>(
+      std::vector<std::uint32_t>{kHeadBead}, kPullDirection,
+      spice::units::spring_pn_per_angstrom(kappa_pn), config.pull_distance);
+  hold->attach_reference(com0);
+  engine.add_contribution(hold);
+  engine.step(4000);
+  engine.remove_contribution(hold.get());
+
+  // Reverse protocol: pull back along −direction for the same distance.
+  spice::smd::SmdParams params;
+  params.spring_pn_per_angstrom = kappa_pn;
+  params.velocity_angstrom_per_ns = velocity_ns;
+  params.direction = -kPullDirection;
+  params.smd_atoms = {kHeadBead};
+  params.hold_ps = 2.0;  // settle with the moving spring attached
+  auto pull = std::make_shared<spice::smd::ConstantVelocityPull>(params);
+  pull->attach(engine);
+  engine.add_contribution(pull);
+  return spice::smd::run_pull(engine, *pull, config.pull_distance, config.sample_every);
+}
+
+ComboResult run_combo(const spice::pore::TranslocationSystem& master, const SweepConfig& config,
+                      double kappa_pn, double velocity_ns) {
+  ComboResult result;
+  result.kappa_pn = kappa_pn;
+  result.velocity_ns = velocity_ns;
+  result.samples = config.samples_for(velocity_ns);
+
+  std::vector<spice::smd::PullResult> pulls;
+  pulls.reserve(result.samples);
+  for (std::size_t r = 0; r < result.samples; ++r) {
+    const std::uint64_t replica_seed =
+        spice::SplitMix64(config.seed ^ (static_cast<std::uint64_t>(kappa_pn * 8.0) << 20) ^
+                          (static_cast<std::uint64_t>(velocity_ns * 8.0) << 8) ^ r)
+            .next();
+    pulls.push_back(run_single_pull(master, config, kappa_pn, velocity_ns, replica_seed));
+    result.md_steps += pulls.back().steps;
+  }
+
+  const double temperature = config.system.md.temperature;
+  const spice::fe::WorkEnsemble ensemble = spice::fe::grid_work_ensemble(
+      pulls, config.pull_distance, config.grid_points, config.work_source);
+  result.pmf =
+      spice::fe::estimate_pmf(ensemble, temperature, spice::fe::Estimator::Exponential);
+  result.sigma_stat = spice::fe::bootstrap_stat_error(
+      ensemble, temperature, spice::fe::Estimator::Exponential, config.bootstrap_resamples,
+      config.seed);
+  result.mean_sigma_stat = spice::fe::average_error(result.sigma_stat);
+  result.mean_dissipated_work = spice::fe::mean_dissipated_work(ensemble, temperature);
+  return result;
+}
+
+spice::fe::PmfEstimate compute_reference_pmf(const spice::pore::TranslocationSystem& master,
+                                             const SweepConfig& config) {
+  spice::md::Engine engine = master.engine.clone(config.seed ^ 0x7265666eULL /*"refn"*/);
+  const Vec3 com_reference = spice::md::center_of_mass(
+      engine.positions(), engine.topology(), std::vector<std::uint32_t>{kHeadBead});
+
+  spice::fe::UmbrellaConfig umbrella;
+  umbrella.xi_min = 0.0;
+  umbrella.xi_max = config.pull_distance;
+  umbrella.windows = std::max<std::size_t>(11, config.grid_points);
+  umbrella.kappa = 10.0;  // internal units; stiff enough for narrow windows
+  umbrella.equilibration_steps = 1500;
+  umbrella.sampling_steps = 6000;
+
+  std::vector<std::uint32_t> atoms{kHeadBead};
+  spice::fe::WhamResult wham_result =
+      spice::fe::run_umbrella_sampling(engine, atoms, kPullDirection, com_reference, umbrella);
+  // Anchor the reference at ξ = 0 like the JE estimates.
+  spice::fe::shift_pmf(wham_result.pmf, 0.0);
+  return wham_result.pmf;
+}
+
+SweepResult run_parameter_sweep(const SweepConfig& config, bool compute_reference) {
+  SPICE_REQUIRE(!config.kappas_pn.empty() && !config.velocities_ns.empty(),
+                "sweep needs κ and v values");
+  SweepResult result;
+  result.temperature_k = config.system.md.temperature;
+
+  // One equilibrated master configuration shared by every replica.
+  spice::pore::TranslocationConfig system_config = config.system;
+  system_config.md.seed = config.seed;
+  const spice::pore::TranslocationSystem master =
+      spice::pore::build_translocation_system(system_config);
+
+  for (const double kappa : config.kappas_pn) {
+    for (const double velocity : config.velocities_ns) {
+      result.combos.push_back(run_combo(master, config, kappa, velocity));
+    }
+  }
+
+  if (compute_reference) {
+    result.reference = compute_reference_pmf(master, config);
+    result.has_reference = true;
+    for (const auto& combo : result.combos) {
+      spice::fe::ParameterScore score;
+      score.kappa_pn = combo.kappa_pn;
+      score.velocity_ns = combo.velocity_ns;
+      score.samples = combo.samples;
+      score.sigma_stat = combo.mean_sigma_stat;
+      score.sigma_sys = spice::fe::systematic_error(combo.pmf, result.reference);
+      result.scores.push_back(score);
+    }
+  }
+  return result;
+}
+
+}  // namespace spice::core

@@ -1,0 +1,65 @@
+#include "spice/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spice::core {
+
+double cpu_hours_per_ns(const MdCostModel& model) {
+  return model.hours_per_ns_at_reference * model.reference_processors;
+}
+
+namespace {
+/// Effective speedup of `processors` relative to the reference count.
+double relative_speedup(const MdCostModel& model, int processors) {
+  SPICE_REQUIRE(processors > 0, "processor count must be positive");
+  const double doublings =
+      std::log2(static_cast<double>(processors) / model.reference_processors);
+  // speed ∝ p · efficiency^(doublings beyond reference); below the
+  // reference, efficiency improves symmetrically.
+  return (static_cast<double>(processors) / model.reference_processors) *
+         std::pow(model.efficiency_per_doubling, doublings);
+}
+}  // namespace
+
+double wall_hours(const MdCostModel& model, double ns, int processors) {
+  SPICE_REQUIRE(ns >= 0.0, "negative duration");
+  return model.hours_per_ns_at_reference * ns / relative_speedup(model, processors);
+}
+
+double seconds_per_step(const MdCostModel& model, int processors) {
+  const double steps_per_ns = 1e6 / model.timestep_fs;
+  return wall_hours(model, 1.0, processors) * 3600.0 / steps_per_ns;
+}
+
+double vanilla_cpu_hours(const MdCostModel& model, double microseconds) {
+  return cpu_hours_per_ns(model) * microseconds * 1000.0;
+}
+
+double frame_bytes(const MdCostModel& model) { return model.atoms * 12.0; }
+
+SmdCampaignCost smdje_campaign_cost(const MdCostModel& model, std::size_t simulations,
+                                    double ns_each, double vanilla_microseconds) {
+  SPICE_REQUIRE(simulations > 0, "campaign needs simulations");
+  SmdCampaignCost cost;
+  cost.simulations = simulations;
+  cost.ns_each = ns_each;
+  cost.cpu_hours_total = cpu_hours_per_ns(model) * ns_each * simulations;
+  cost.reduction_vs_vanilla =
+      vanilla_cpu_hours(model, vanilla_microseconds) / cost.cpu_hours_total;
+  return cost;
+}
+
+double moore_years_until_routine(const MdCostModel& model, double microseconds,
+                                 double acceptable_days, double doubling_months) {
+  SPICE_REQUIRE(acceptable_days > 0.0, "acceptable duration must be positive");
+  const double now_hours =
+      wall_hours(model, microseconds * 1000.0, model.reference_processors);
+  const double target_hours = acceptable_days * 24.0;
+  if (now_hours <= target_hours) return 0.0;
+  const double doublings_needed = std::log2(now_hours / target_hours);
+  return doublings_needed * doubling_months / 12.0;
+}
+
+}  // namespace spice::core

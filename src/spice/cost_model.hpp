@@ -1,0 +1,66 @@
+#pragma once
+// The paper's computational cost model (§I back-of-the-envelope):
+//
+//   * ~300,000 atoms; 1 ns of physical time ≈ 24 h on 128 processors
+//     ⇒ ~3000 CPU-hours per nanosecond;
+//   * translocation timescale ~10 µs ⇒ vanilla MD needs ~3×10⁷ CPU-hours;
+//   * SMD-JE reduces the requirement by a factor of 50–100;
+//   * waiting for Moore's law alone ("simple speed doubling every 18
+//     months") leaves such simulations "a couple of decades" away.
+//
+// The model also provides per-step wall-clock times for the IMD session
+// (frame cadence on 128/256 processors) and job runtimes for the grid
+// campaign, keeping E5, E6 and E7 on one consistent set of numbers.
+
+#include <cstddef>
+
+namespace spice::core {
+
+struct MdCostModel {
+  double atoms = 300000.0;
+  int reference_processors = 128;
+  double hours_per_ns_at_reference = 24.0;  ///< wall-clock h per simulated ns
+  double timestep_fs = 1.0;                 ///< all-atom MD timestep
+  /// Parallel efficiency lost per processor-count doubling beyond the
+  /// reference (strong scaling is sub-linear).
+  double efficiency_per_doubling = 0.85;
+};
+
+/// CPU-hours per simulated nanosecond (≈3000 with the defaults).
+[[nodiscard]] double cpu_hours_per_ns(const MdCostModel& model);
+
+/// Wall-clock hours to simulate `ns` nanoseconds on `processors`.
+[[nodiscard]] double wall_hours(const MdCostModel& model, double ns, int processors);
+
+/// Wall-clock seconds per MD step on `processors` (IMD frame cadence).
+[[nodiscard]] double seconds_per_step(const MdCostModel& model, int processors);
+
+/// CPU-hours for a vanilla equilibrium simulation of `microseconds` µs
+/// (≈3×10⁷ for 10 µs with the defaults).
+[[nodiscard]] double vanilla_cpu_hours(const MdCostModel& model, double microseconds);
+
+/// One frame of coordinates on the wire, bytes (3 × float32 per atom).
+[[nodiscard]] double frame_bytes(const MdCostModel& model);
+
+struct SmdCampaignCost {
+  std::size_t simulations = 0;
+  double ns_each = 0.0;
+  double cpu_hours_total = 0.0;
+  double reduction_vs_vanilla = 0.0;  ///< the paper's 50–100× factor
+};
+
+/// Cost of an SMD-JE campaign of `simulations` pulls of `ns_each`
+/// nanoseconds, compared against the vanilla cost of `microseconds` µs.
+[[nodiscard]] SmdCampaignCost smdje_campaign_cost(const MdCostModel& model,
+                                                  std::size_t simulations, double ns_each,
+                                                  double vanilla_microseconds);
+
+/// Years of pure Moore's-law speed doubling (every `doubling_months`)
+/// until a vanilla `microseconds` µs run fits in `acceptable_days` of
+/// wall-clock on the reference processor count (≈20 years with defaults —
+/// the paper's "couple of decades").
+[[nodiscard]] double moore_years_until_routine(const MdCostModel& model, double microseconds,
+                                               double acceptable_days = 7.0,
+                                               double doubling_months = 18.0);
+
+}  // namespace spice::core

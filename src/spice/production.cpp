@@ -1,0 +1,90 @@
+#include "spice/production.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "grid/workload.hpp"
+
+namespace spice::core {
+
+ProductionPlan plan_production_jobs(const SweepConfig& sweep, const MdCostModel& cost,
+                                    std::size_t equal_replicas) {
+  ProductionPlan plan;
+  spice::grid::JobId next_id = 1;
+  for (const double kappa : sweep.kappas_pn) {
+    for (const double velocity : sweep.velocities_ns) {
+      const std::size_t replicas =
+          equal_replicas > 0 ? equal_replicas : sweep.samples_for(velocity);
+      // A 10 Å pull at v Å/ns is (distance / v) ns of MD.
+      const double ns = sweep.pull_distance / velocity;
+      for (std::size_t r = 0; r < replicas; ++r) {
+        spice::grid::Job job;
+        job.id = next_id++;
+        job.kind = spice::grid::JobKind::Campaign;
+        job.processors = (plan.jobs.size() % 2 == 0) ? 128 : 256;
+        job.runtime_hours = wall_hours(cost, ns, job.processors);
+        job.name = "smdje-k" + std::to_string(static_cast<int>(kappa)) + "-v" +
+                   std::to_string(static_cast<int>(velocity)) + "-r" + std::to_string(r);
+        plan.expected_cpu_hours += job.processors * job.runtime_hours;
+        plan.total_simulated_ns += ns;
+        plan.jobs.push_back(std::move(job));
+      }
+    }
+  }
+  SPICE_ENSURE(!plan.jobs.empty(), "empty production plan");
+  return plan;
+}
+
+ProductionExecution execute_on_federation(const ProductionPlan& plan,
+                                          const ExecutionOptions& options) {
+  spice::grid::EventQueue events;
+  spice::grid::Federation federation(events);
+  spice::grid::build_spice_federation(federation);
+
+  // Contention: every site carries background load.
+  for (const auto& site : federation.sites()) {
+    spice::grid::WorkloadParams load;
+    load.target_utilization = options.background_utilization;
+    load.horizon_hours = options.horizon_hours;
+    load.seed = options.seed;
+    spice::grid::generate_background_load(*site, events, load);
+  }
+
+  // Optional outage (the paper's security breach took out the sole usable
+  // UK node for weeks).
+  if (options.outage.has_value()) {
+    const SiteOutage& outage = *options.outage;
+    spice::grid::Site* site = federation.find(outage.site);
+    SPICE_REQUIRE(site != nullptr, "outage names unknown site: " + outage.site);
+    events.at(outage.start_hours, [site, outage] {
+      site->fail_until(outage.start_hours + outage.duration_hours);
+    });
+  }
+
+  spice::grid::CampaignConfig campaign;
+  campaign.jobs = plan.jobs;
+  campaign.policy = options.policy;
+  campaign.single_site = options.single_site;
+  campaign.restrict_grid = options.restrict_to_grid;
+
+  spice::grid::Broker broker(federation, campaign);
+  // Let queues build up for a few hours so the campaign meets realistic
+  // contention rather than empty machines.
+  events.run_until(24.0);
+  broker.submit_all();
+  while (!broker.done() && events.step()) {
+  }
+
+  ProductionExecution exec;
+  exec.campaign = broker.result();
+  exec.makespan_hours = exec.campaign.makespan_hours;
+  exec.makespan_days = exec.makespan_hours / 24.0;
+  for (const auto& job : exec.campaign.finished_jobs) {
+    if (job.requeues > 0 && job.state == spice::grid::JobState::Completed) {
+      ++exec.jobs_requeued;
+    }
+  }
+  return exec;
+}
+
+}  // namespace spice::core

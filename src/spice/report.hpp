@@ -1,0 +1,19 @@
+#pragma once
+// Human-readable campaign report: renders a PipelineReport as Markdown —
+// the programmatic equivalent of the paper's §III-IV narrative, suitable
+// for dropping into a lab notebook or CI artifact.
+
+#include <string>
+
+#include "spice/pipeline.hpp"
+
+namespace spice::core {
+
+/// Render the full pipeline report as Markdown.
+[[nodiscard]] std::string render_markdown_report(const PipelineReport& report);
+
+/// Render only the production-phase science summary (Fig. 4 table +
+/// selection rationale).
+[[nodiscard]] std::string render_science_summary(const ProductionReport& production);
+
+}  // namespace spice::core

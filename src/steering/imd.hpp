@@ -1,0 +1,99 @@
+#pragma once
+// Interactive molecular dynamics (IMD) session over a simulated network.
+//
+// Models the bidirectional coupling of §II–III: the simulation streams
+// coordinate frames to the visualizer; the visualizer renders, acks each
+// frame (flow control), and sends steering commands back. The simulation
+// keeps at most `window` unacked frames in flight — when the window is
+// full it STALLS, which is precisely the failure mode the paper worries
+// about: "Unreliable communication leads not only to a possible loss of
+// interactivity, but equally seriously, a significant slowdown of the
+// simulation as it stalls waiting for data from the visualization."
+//
+// The session advances a virtual wall clock (seconds): each MD step costs
+// `seconds_per_step` (from the performance model of the 300k-atom system
+// on N processors); network delays come from spice::net::Network, so QoS
+// (latency / jitter / loss, lightpath vs internet) directly shapes the
+// achieved simulation rate measured by the E7 bench.
+//
+// Optionally a real md engine (via SteerableSimulation) executes the same
+// steps so steering commands genuinely alter the trajectory.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "net/network.hpp"
+#include "steering/steerable.hpp"
+
+namespace spice::steering {
+
+struct ImdConfig {
+  std::size_t total_steps = 2000;
+  std::size_t steps_per_frame = 10;
+  std::size_t window = 4;            ///< max in-flight unacked frames
+  double seconds_per_step = 0.0864;  ///< 300k atoms on 128 procs (cost model)
+  double frame_bytes = 3.6e6;        ///< 300k atoms × 12 bytes
+  double render_seconds = 0.02;      ///< visualizer per-frame processing
+  spice::net::Transport transport = spice::net::Transport::Tcp;
+};
+
+/// Information handed to the visualizer policy for each rendered frame.
+struct FrameView {
+  std::uint64_t frame_id = 0;
+  double sim_time_ps = 0.0;
+  double wall_seconds = 0.0;
+  double steered_com_z = 0.0;  ///< 0 when no live engine is attached
+};
+
+/// The scientist-at-the-visualizer: returns a steering force to send back
+/// (or nullopt). Replaces the human in the loop (DESIGN.md §2).
+using VisualizerPolicy = std::function<std::optional<Vec3>(const FrameView&)>;
+
+struct ImdMetrics {
+  std::size_t steps_completed = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;       ///< undeliverable after retries
+  std::uint64_t commands_sent = 0;
+  std::uint64_t commands_applied = 0;
+  double wall_seconds = 0.0;           ///< total session wall-clock
+  double stall_seconds = 0.0;          ///< time the simulation sat blocked
+  double ideal_seconds = 0.0;          ///< compute-only time (no network)
+  double mean_frame_rtt = 0.0;         ///< emit → ack, seconds
+
+  /// Fraction of wall time lost to stalls.
+  [[nodiscard]] double stall_fraction() const {
+    return wall_seconds > 0.0 ? stall_seconds / wall_seconds : 0.0;
+  }
+  /// Achieved step rate / ideal step rate (1.0 = no slowdown).
+  [[nodiscard]] double efficiency() const {
+    return wall_seconds > 0.0 ? ideal_seconds / wall_seconds : 0.0;
+  }
+};
+
+class ImdSession {
+ public:
+  /// `simulation` may be null: the session then runs as a pure timing
+  /// model (used by the QoS sweeps, where only throughput matters).
+  ImdSession(spice::net::Network& network, spice::net::HostId sim_host,
+             spice::net::HostId viz_host, ImdConfig config,
+             SteerableSimulation* simulation = nullptr);
+
+  void set_visualizer_policy(VisualizerPolicy policy) { policy_ = std::move(policy); }
+
+  /// Run the whole session; returns the metrics.
+  ImdMetrics run();
+
+ private:
+  spice::net::Network& network_;
+  spice::net::HostId sim_host_;
+  spice::net::HostId viz_host_;
+  ImdConfig config_;
+  SteerableSimulation* simulation_;
+  VisualizerPolicy policy_;
+};
+
+}  // namespace spice::steering

@@ -1,0 +1,40 @@
+#include "steering/messages.hpp"
+
+namespace spice::steering {
+
+SteeringMessage SteeringMessage::pause() { return {.type = MessageType::Pause}; }
+SteeringMessage SteeringMessage::resume() { return {.type = MessageType::Resume}; }
+SteeringMessage SteeringMessage::stop() { return {.type = MessageType::Stop}; }
+
+SteeringMessage SteeringMessage::set_parameter(const std::string& name, double value) {
+  SteeringMessage m;
+  m.type = MessageType::SetParameter;
+  m.parameter = name;
+  m.value = value;
+  return m;
+}
+
+SteeringMessage SteeringMessage::apply_force(const Vec3& force) {
+  SteeringMessage m;
+  m.type = MessageType::ApplyForce;
+  m.force = force;
+  return m;
+}
+
+SteeringMessage SteeringMessage::take_checkpoint(const std::string& label) {
+  SteeringMessage m;
+  m.type = MessageType::TakeCheckpoint;
+  m.parameter = label;
+  return m;
+}
+
+SteeringMessage SteeringMessage::clone_request(const std::string& label) {
+  SteeringMessage m;
+  m.type = MessageType::CloneRequest;
+  m.parameter = label;
+  return m;
+}
+
+double control_message_bytes() { return 256.0; }
+
+}  // namespace spice::steering

@@ -1,0 +1,34 @@
+#include "steering/registry.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spice::steering {
+
+void ServiceRegistry::publish(const ComponentRecord& record) {
+  SPICE_REQUIRE(!record.name.empty(), "component needs a name");
+  records_[record.name] = record;
+}
+
+void ServiceRegistry::unpublish(const std::string& name) { records_.erase(name); }
+
+std::optional<ComponentRecord> ServiceRegistry::lookup(const std::string& name) const {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ComponentRecord> ServiceRegistry::list(ComponentKind kind) const {
+  std::vector<ComponentRecord> out;
+  for (const auto& [name, record] : records_) {
+    if (record.kind == kind) out.push_back(record);
+  }
+  // Deterministic order for callers that iterate.
+  std::sort(out.begin(), out.end(),
+            [](const ComponentRecord& a, const ComponentRecord& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace spice::steering

@@ -1,0 +1,40 @@
+#pragma once
+// Component registry — the "intermediate grid services" of the RealityGrid
+// architecture (paper Fig. 2a): simulations, visualizers and devices
+// register under names; peers discover each other's network endpoints by
+// lookup rather than hard-wired addresses. (In the real system these were
+// OGSI/WSRF Steering Grid Services; here it is an in-process directory
+// over the simulated network's host ids.)
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+
+namespace spice::steering {
+
+enum class ComponentKind { Simulation, Visualizer, HapticDevice, Steerer };
+
+struct ComponentRecord {
+  std::string name;
+  ComponentKind kind = ComponentKind::Simulation;
+  spice::net::HostId host = 0;
+};
+
+class ServiceRegistry {
+ public:
+  /// Register (or re-register) a component. Names are unique.
+  void publish(const ComponentRecord& record);
+  void unpublish(const std::string& name);
+
+  [[nodiscard]] std::optional<ComponentRecord> lookup(const std::string& name) const;
+  /// All records of one kind (e.g. every running simulation).
+  [[nodiscard]] std::vector<ComponentRecord> list(ComponentKind kind) const;
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<std::string, ComponentRecord> records_;
+};
+
+}  // namespace spice::steering

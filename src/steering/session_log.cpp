@@ -1,0 +1,101 @@
+#include "steering/session_log.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace spice::steering {
+
+namespace {
+constexpr std::uint32_t kLogMagic = 0x53504c47;  // "SPLG"
+constexpr std::uint32_t kLogVersion = 1;
+}  // namespace
+
+void SessionLog::record(std::uint64_t step, const SteeringMessage& message) {
+  SPICE_REQUIRE(entries_.empty() || entries_.back().step <= step,
+                "session log must be recorded in step order");
+  entries_.push_back({step, message});
+}
+
+std::vector<std::uint8_t> SessionLog::serialize() const {
+  BinaryWriter w;
+  w.write_u32(kLogMagic);
+  w.write_u32(kLogVersion);
+  w.write_u64(entries_.size());
+  for (const auto& e : entries_) {
+    w.write_u64(e.step);
+    w.write_u8(static_cast<std::uint8_t>(e.message.type));
+    w.write_u64(e.message.sequence);
+    w.write_string(e.message.parameter);
+    w.write_f64(e.message.value);
+    w.write_vec3(e.message.force);
+    w.write_u64(e.message.frame_id);
+    w.write_f64(e.message.sim_time);
+  }
+  return w.take();
+}
+
+SessionLog SessionLog::deserialize(std::span<const std::uint8_t> bytes) {
+  BinaryReader r(bytes);
+  SPICE_REQUIRE(r.read_u32() == kLogMagic, "not a SPICE session log");
+  SPICE_REQUIRE(r.read_u32() == kLogVersion, "unsupported session-log version");
+  const std::uint64_t count = r.read_u64();
+  SessionLog log;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LoggedMessage e;
+    e.step = r.read_u64();
+    e.message.type = static_cast<MessageType>(r.read_u8());
+    e.message.sequence = r.read_u64();
+    e.message.parameter = r.read_string();
+    e.message.value = r.read_f64();
+    e.message.force = r.read_vec3();
+    e.message.frame_id = r.read_u64();
+    e.message.sim_time = r.read_f64();
+    log.entries_.push_back(std::move(e));
+  }
+  return log;
+}
+
+std::size_t replay_session(SteerableSimulation& simulation, const SessionLog& log,
+                           std::size_t total_steps) {
+  std::size_t taken = 0;
+  std::size_t next = 0;
+  const auto& entries = log.entries();
+  // Skip entries scheduled before the simulation's current step (supports
+  // replaying a tail after restoring a checkpoint).
+  const std::uint64_t start_step = simulation.engine().step_count();
+  while (next < entries.size() && entries[next].step < start_step) ++next;
+
+  while (taken < total_steps) {
+    // Deliver everything recorded at the current step boundary.
+    const std::uint64_t now = simulation.engine().step_count();
+    while (next < entries.size() && entries[next].step == now) {
+      simulation.deliver(entries[next].message);
+      ++next;
+    }
+    // Run until the next recorded step (or the end of the budget).
+    const std::uint64_t target =
+        next < entries.size()
+            ? std::min<std::uint64_t>(entries[next].step, start_step + total_steps)
+            : start_step + total_steps;
+    const auto chunk = static_cast<std::size_t>(target - now);
+    if (chunk == 0) {
+      // A paused simulation will not advance; bail out rather than spin.
+      if (simulation.run(1) == 0) break;
+      ++taken;
+      continue;
+    }
+    const std::size_t done = simulation.run(chunk);
+    taken += done;
+    if (done < chunk) break;  // paused or stopped mid-chunk
+  }
+  return taken;
+}
+
+void RecordingSteerer::steer(const SteeringMessage& message) {
+  log_.record(simulation_.engine().step_count(), message);
+  simulation_.deliver(message);
+}
+
+}  // namespace spice::steering

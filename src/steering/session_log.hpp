@@ -1,0 +1,64 @@
+#pragma once
+// Steering-session logging and deterministic replay.
+//
+// The RealityGrid workflow kept records of steering activity; for
+// verification-and-validation (the paper's checkpoint/clone use case) a
+// recorded session must be replayable bit-for-bit. A SessionLog captures
+// every steering message with the engine step at which it was applied; a
+// replay delivers the same messages at the same step boundaries, so a
+// fresh simulation with the same seed reproduces the steered trajectory
+// exactly. Logs serialize via the common binary format.
+
+#include <cstdint>
+#include <vector>
+
+#include "steering/messages.hpp"
+#include "steering/steerable.hpp"
+
+namespace spice::steering {
+
+struct LoggedMessage {
+  std::uint64_t step = 0;  ///< engine step count at application
+  SteeringMessage message;
+};
+
+class SessionLog {
+ public:
+  void record(std::uint64_t step, const SteeringMessage& message);
+
+  [[nodiscard]] const std::vector<LoggedMessage>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Serialize / parse (round-trips exactly).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static SessionLog deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<LoggedMessage> entries_;
+};
+
+/// Drive `simulation` for `total_steps`, delivering each logged message at
+/// its recorded step boundary. Returns steps actually taken. With the same
+/// engine seed and initial state as the recorded session, the trajectory
+/// is bit-identical.
+std::size_t replay_session(SteerableSimulation& simulation, const SessionLog& log,
+                           std::size_t total_steps);
+
+/// Convenience recorder: wraps deliver() so interactive code can log and
+/// deliver in one call.
+class RecordingSteerer {
+ public:
+  RecordingSteerer(SteerableSimulation& simulation, SessionLog& log)
+      : simulation_(simulation), log_(log) {}
+
+  /// Deliver `message` now (applied at the next step boundary) and record
+  /// it against the engine's current step count.
+  void steer(const SteeringMessage& message);
+
+ private:
+  SteerableSimulation& simulation_;
+  SessionLog& log_;
+};
+
+}  // namespace spice::steering

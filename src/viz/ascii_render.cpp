@@ -1,0 +1,59 @@
+#include "viz/ascii_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spice::viz {
+
+std::string render_side_view(const spice::pore::RadiusProfile& profile,
+                             std::span<const Vec3> positions, const RenderOptions& options) {
+  SPICE_REQUIRE(options.rows >= 2 && options.columns >= 3, "render grid too small");
+  SPICE_REQUIRE(options.z_max > options.z_min, "render z range empty");
+  SPICE_REQUIRE(options.x_half_width > 0.0, "render x half width must be positive");
+
+  std::vector<std::string> grid(options.rows, std::string(options.columns, options.empty));
+
+  const double dz = (options.z_max - options.z_min) / static_cast<double>(options.rows);
+  const double dx = 2.0 * options.x_half_width / static_cast<double>(options.columns);
+
+  auto column_of = [&](double x) -> int {
+    return static_cast<int>(std::floor((x + options.x_half_width) / dx));
+  };
+
+  // Pore walls: for each row, draw the lumen boundary at ±R(z).
+  for (std::size_t row = 0; row < options.rows; ++row) {
+    const double z = options.z_max - (static_cast<double>(row) + 0.5) * dz;
+    const double r = profile.radius(z);
+    if (r >= options.x_half_width) continue;
+    const int left = column_of(-r);
+    const int right = column_of(r);
+    if (left >= 0 && left < static_cast<int>(options.columns)) {
+      grid[row][static_cast<std::size_t>(left)] = options.wall;
+    }
+    if (right >= 0 && right < static_cast<int>(options.columns)) {
+      grid[row][static_cast<std::size_t>(right)] = options.wall;
+    }
+  }
+
+  // Particles (drawn after walls so beads are visible in the lumen).
+  for (const auto& p : positions) {
+    if (p.z < options.z_min || p.z >= options.z_max) continue;
+    const int col = column_of(p.x);
+    if (col < 0 || col >= static_cast<int>(options.columns)) continue;
+    const auto row = static_cast<std::size_t>((options.z_max - p.z) / dz);
+    grid[std::min(row, options.rows - 1)][static_cast<std::size_t>(col)] = options.bead;
+  }
+
+  std::string out;
+  out.reserve(options.rows * (options.columns + 1));
+  for (const auto& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace spice::viz

@@ -1,0 +1,91 @@
+#include "viz/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spice::viz {
+
+Image::Image(std::size_t width, std::size_t height, Rgb fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  SPICE_REQUIRE(width > 0 && height > 0, "image needs positive dimensions");
+}
+
+Rgb Image::at(std::size_t x, std::size_t y) const {
+  SPICE_REQUIRE(x < width_ && y < height_, "pixel out of range");
+  return pixels_[y * width_ + x];
+}
+
+void Image::set(std::size_t x, std::size_t y, Rgb color) {
+  SPICE_REQUIRE(x < width_ && y < height_, "pixel out of range");
+  pixels_[y * width_ + x] = color;
+}
+
+std::vector<std::uint8_t> Image::encode_ppm() const {
+  const std::string header =
+      "P6\n" + std::to_string(width_) + " " + std::to_string(height_) + "\n255\n";
+  std::vector<std::uint8_t> bytes(header.begin(), header.end());
+  bytes.reserve(bytes.size() + pixels_.size() * 3);
+  for (const Rgb& p : pixels_) {
+    bytes.push_back(p.r);
+    bytes.push_back(p.g);
+    bytes.push_back(p.b);
+  }
+  return bytes;
+}
+
+void Image::save_ppm(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  SPICE_REQUIRE(file.is_open(), "could not open image output: " + path);
+  const auto bytes = encode_ppm();
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+Rgb diverging_colormap(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto lerp = [](double a, double b, double f) {
+    return static_cast<std::uint8_t>(std::lround(a + (b - a) * f));
+  };
+  if (t < 0.5) {
+    const double f = t * 2.0;  // blue → white
+    return {lerp(40, 255, f), lerp(80, 255, f), lerp(200, 255, f)};
+  }
+  const double f = (t - 0.5) * 2.0;  // white → red
+  return {lerp(255, 200, f), lerp(255, 50, f), lerp(255, 40, f)};
+}
+
+Image heatmap(const std::vector<std::vector<double>>& field, std::size_t cell_px) {
+  SPICE_REQUIRE(!field.empty() && !field.front().empty(), "heatmap needs data");
+  SPICE_REQUIRE(cell_px > 0, "cell size must be positive");
+  const std::size_t rows = field.size();
+  const std::size_t cols = field.front().size();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& row : field) {
+    SPICE_REQUIRE(row.size() == cols, "ragged heatmap field");
+    for (const double v : row) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  Image image(cols * cell_px, rows * cell_px);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Rgb color = diverging_colormap((field[r][c] - lo) / span);
+      for (std::size_t dy = 0; dy < cell_px; ++dy) {
+        for (std::size_t dx = 0; dx < cell_px; ++dx) {
+          image.set(c * cell_px + dx, r * cell_px + dy, color);
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace spice::viz

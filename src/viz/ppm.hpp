@@ -1,0 +1,49 @@
+#pragma once
+// Minimal PPM (portable pixmap) image writer plus a scalar-field heatmap —
+// the "static visualization" output path that needs no external viewer
+// toolchain: PMF landscapes, grid-utilization timelines and current traces
+// render to a universally readable image format.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spice::viz {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+};
+
+/// Row-major RGB image.
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height, Rgb fill = {0, 0, 0});
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] Rgb at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, Rgb color);
+
+  /// Binary PPM (P6) bytes.
+  [[nodiscard]] std::vector<std::uint8_t> encode_ppm() const;
+  /// Write a .ppm file; throws on I/O failure.
+  void save_ppm(const std::string& path) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Rgb> pixels_;
+};
+
+/// Map a value in [0, 1] onto a blue → white → red diverging colormap
+/// (out-of-range values are clamped).
+[[nodiscard]] Rgb diverging_colormap(double t);
+
+/// Render a row-major scalar field (rows × cols) as a heatmap, scaled to
+/// the data's min/max; each cell becomes a `cell_px` × `cell_px` block.
+[[nodiscard]] Image heatmap(const std::vector<std::vector<double>>& field,
+                            std::size_t cell_px = 8);
+
+}  // namespace spice::viz

@@ -1,0 +1,36 @@
+#pragma once
+// CSV table/series output for the bench harnesses: every figure bench
+// prints its data both as an aligned text table (human) and optionally as
+// CSV (replotting).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spice::viz {
+
+/// Column-oriented numeric table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Add one row; must match the column count.
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const;
+
+  /// Write as CSV.
+  void write_csv(std::ostream& os) const;
+  /// Write as an aligned, human-readable table with `precision` decimals.
+  void write_pretty(std::ostream& os, int precision = 3) const;
+  /// Write CSV to a file; throws on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace spice::viz

@@ -1,0 +1,42 @@
+#include "viz/xyz_writer.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "md/topology.hpp"
+
+namespace spice::viz {
+
+void write_xyz_frame(std::ostream& os, const spice::md::Topology& topology,
+                     std::span<const Vec3> positions, const std::string& comment) {
+  SPICE_REQUIRE(positions.size() == topology.particle_count(),
+                "positions/topology size mismatch");
+  os << positions.size() << '\n' << comment << '\n';
+  const auto& particles = topology.particles();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::string& name = particles[i].name.empty() ? "X" : particles[i].name;
+    os << name << ' ' << positions[i].x << ' ' << positions[i].y << ' ' << positions[i].z
+       << '\n';
+  }
+}
+
+struct XyzTrajectoryWriter::Impl {
+  std::ofstream file;
+};
+
+XyzTrajectoryWriter::XyzTrajectoryWriter(const std::string& path) : impl_(new Impl) {
+  impl_->file.open(path);
+  SPICE_REQUIRE(impl_->file.is_open(), "could not open trajectory file: " + path);
+}
+
+XyzTrajectoryWriter::~XyzTrajectoryWriter() { delete impl_; }
+
+void XyzTrajectoryWriter::add_frame(const spice::md::Topology& topology,
+                                    std::span<const Vec3> positions,
+                                    const std::string& comment) {
+  write_xyz_frame(impl_->file, topology, positions, comment);
+  ++frames_;
+}
+
+}  // namespace spice::viz

@@ -1,0 +1,41 @@
+#pragma once
+// XYZ-format trajectory writer — the reproduction's stand-in for the
+// paper's visualization-engine data path. XYZ is readable by VMD and every
+// other molecular viewer, so "static visualization" of our trajectories is
+// genuinely possible downstream.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "common/vec3.hpp"
+
+namespace spice::md {
+class Topology;
+}
+
+namespace spice::viz {
+
+/// Append one frame (particle names from the topology, Å coordinates).
+void write_xyz_frame(std::ostream& os, const spice::md::Topology& topology,
+                     std::span<const Vec3> positions, const std::string& comment = "");
+
+/// Streaming writer that owns an output file.
+class XyzTrajectoryWriter {
+ public:
+  explicit XyzTrajectoryWriter(const std::string& path);
+  ~XyzTrajectoryWriter();
+  XyzTrajectoryWriter(const XyzTrajectoryWriter&) = delete;
+  XyzTrajectoryWriter& operator=(const XyzTrajectoryWriter&) = delete;
+
+  void add_frame(const spice::md::Topology& topology, std::span<const Vec3> positions,
+                 const std::string& comment = "");
+  [[nodiscard]] std::size_t frames_written() const { return frames_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t frames_ = 0;
+};
+
+}  // namespace spice::viz

@@ -1,0 +1,210 @@
+// Equilibrium reference machinery: WHAM unbiasing and thermodynamic
+// integration, validated on systems with closed-form free energies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fe/pmf.hpp"
+#include "fe/ti.hpp"
+#include "fe/wham.hpp"
+#include "md/engine.hpp"
+#include "smd/restraint.hpp"
+
+namespace {
+
+using namespace spice;
+using namespace spice::fe;
+
+/// Draw equilibrium samples of a particle in U(ξ) = ½ k ξ² under an
+/// umbrella ½ κ (ξ − c)²: the combined distribution is Gaussian with
+/// mean κc/(k+κ) and variance kT/(k+κ). Sampling exactly lets the WHAM
+/// math be tested without MD noise.
+UmbrellaWindow exact_harmonic_window(double k_sys, double kappa, double center,
+                                     double temperature, std::size_t n, Rng& rng) {
+  UmbrellaWindow w;
+  w.center = center;
+  w.kappa = kappa;
+  const double ktot = k_sys + kappa;
+  const double mean = kappa * center / ktot;
+  const double sd = std::sqrt(units::kT(temperature) / ktot);
+  w.xi_samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) w.xi_samples.push_back(rng.gaussian(mean, sd));
+  return w;
+}
+
+TEST(Wham, RecoversHarmonicFreeEnergy) {
+  const double k_sys = 1.5;   // kcal/mol/Å²
+  const double kappa = 6.0;
+  const double temperature = 300.0;
+  Rng rng(101);
+  std::vector<UmbrellaWindow> windows;
+  for (double c = -3.0; c <= 3.01; c += 0.5) {
+    windows.push_back(exact_harmonic_window(k_sys, kappa, c, temperature, 8000, rng));
+  }
+  const WhamResult result = wham(windows, temperature);
+  EXPECT_TRUE(result.converged);
+
+  // Expected PMF: ½ k ξ² up to a constant; compare curvature via fit at
+  // a few points relative to ξ = 0.
+  PmfEstimate pmf = result.pmf;
+  shift_pmf(pmf, 0.0);
+  for (double xi = -1.5; xi <= 1.51; xi += 0.75) {
+    EXPECT_NEAR(pmf_at(pmf, xi), 0.5 * k_sys * xi * xi, 0.25) << "xi=" << xi;
+  }
+}
+
+TEST(Wham, WindowFreeEnergiesAreGaugeFixed) {
+  Rng rng(7);
+  std::vector<UmbrellaWindow> windows;
+  for (double c = 0.0; c <= 2.01; c += 0.5) {
+    windows.push_back(exact_harmonic_window(1.0, 5.0, c, 300.0, 3000, rng));
+  }
+  const WhamResult result = wham(windows, 300.0);
+  EXPECT_DOUBLE_EQ(result.window_free_energies[0], 0.0);
+}
+
+TEST(Wham, RejectsDegenerateInput) {
+  EXPECT_THROW(wham({}, 300.0), PreconditionError);
+  UmbrellaWindow w;
+  w.center = 0.0;
+  w.kappa = 1.0;
+  w.xi_samples = {1.0, 1.0};
+  UmbrellaWindow w2 = w;
+  w2.center = 1.0;
+  // All samples identical → no usable histogram range.
+  EXPECT_THROW(wham(std::vector<UmbrellaWindow>{w, w2}, 300.0), PreconditionError);
+}
+
+TEST(Wham, HandlesPoorOverlapWithoutCrashing) {
+  Rng rng(13);
+  std::vector<UmbrellaWindow> windows;
+  windows.push_back(exact_harmonic_window(1.0, 50.0, -4.0, 300.0, 500, rng));
+  windows.push_back(exact_harmonic_window(1.0, 50.0, 4.0, 300.0, 500, rng));
+  const WhamResult result = wham(windows, 300.0);
+  EXPECT_GE(result.pmf.lambda.size(), 2u);
+}
+
+/// Single particle bound in a harmonic well, used by the driver tests.
+spice::md::Engine make_well_engine(std::uint64_t seed) {
+  spice::md::Topology topo;
+  topo.add_particle({.mass = 50.0, .charge = 0.0, .radius = 1.0});
+  spice::md::MdConfig cfg;
+  cfg.dt = 0.01;
+  cfg.friction = 2.0;
+  cfg.seed = seed;
+  spice::md::Engine engine(std::move(topo), spice::md::NonbondedParams{}, cfg);
+  engine.set_positions(std::vector<Vec3>{{0, 0, 0}});
+  engine.initialize_velocities(300.0);
+  return engine;
+}
+
+TEST(UmbrellaDriver, RecoversWellProfileEndToEnd) {
+  const double k_well = 1.2;
+  spice::md::Engine engine = make_well_engine(55);
+  auto well = std::make_shared<spice::smd::StaticRestraint>(std::vector<std::uint32_t>{0},
+                                                            Vec3{0, 0, 1.0}, k_well, 0.0);
+  well->attach_reference({0, 0, 0});
+  engine.add_contribution(well);
+
+  UmbrellaConfig config;
+  config.xi_min = 0.0;
+  config.xi_max = 3.0;
+  config.windows = 7;
+  config.kappa = 8.0;
+  config.equilibration_steps = 800;
+  config.sampling_steps = 4000;
+  const std::vector<std::uint32_t> atoms{0};
+  const WhamResult result =
+      run_umbrella_sampling(engine, atoms, Vec3{0, 0, 1.0}, Vec3{0, 0, 0}, config);
+  EXPECT_TRUE(result.converged);
+
+  PmfEstimate pmf = result.pmf;
+  shift_pmf(pmf, 0.0);
+  for (double xi = 0.5; xi <= 2.51; xi += 1.0) {
+    EXPECT_NEAR(pmf_at(pmf, xi), 0.5 * k_well * xi * xi, 0.45) << "xi=" << xi;
+  }
+}
+
+/// WHAM must recover the same harmonic profile for a range of bias
+/// stiffnesses (property: the unbiasing is exact, not tuned to one κ).
+class WhamKappaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WhamKappaTest, HarmonicRecoveryAcrossBiasStiffness) {
+  const double kappa = GetParam();
+  const double k_sys = 1.2;
+  Rng rng(211 + static_cast<std::uint64_t>(kappa * 10));
+  std::vector<UmbrellaWindow> windows;
+  for (double c = -2.5; c <= 2.51; c += 0.5) {
+    windows.push_back(exact_harmonic_window(k_sys, kappa, c, 300.0, 6000, rng));
+  }
+  const WhamResult result = wham(windows, 300.0);
+  EXPECT_TRUE(result.converged);
+  PmfEstimate pmf = result.pmf;
+  shift_pmf(pmf, 0.0);
+  for (double xi = -1.0; xi <= 1.01; xi += 1.0) {
+    EXPECT_NEAR(pmf_at(pmf, xi), 0.5 * k_sys * xi * xi, 0.3)
+        << "kappa=" << kappa << " xi=" << xi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasStiffnessSweep, WhamKappaTest,
+                         ::testing::Values(3.0, 6.0, 12.0, 24.0));
+
+// --- thermodynamic integration ----------------------------------------------------
+
+TEST(Ti, IntegratesAnalyticMeanForce) {
+  // dF/dλ = k λ for F = ½ k λ²; feed exact mean forces.
+  std::vector<TiPoint> points;
+  const double k = 2.0;
+  for (double lambda = 0.0; lambda <= 2.01; lambda += 0.25) {
+    points.push_back({lambda, k * lambda, 0.0});
+  }
+  const PmfEstimate pmf = integrate_mean_force(points);
+  for (std::size_t g = 0; g < pmf.lambda.size(); ++g) {
+    const double x = pmf.lambda[g];
+    EXPECT_NEAR(pmf.phi[g], 0.5 * k * x * x, 1e-2) << "lambda=" << x;
+  }
+}
+
+TEST(Ti, RejectsUnorderedPoints) {
+  std::vector<TiPoint> points{{0.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  EXPECT_THROW(integrate_mean_force(points), PreconditionError);
+}
+
+TEST(TiDriver, RecoversWellProfileEndToEnd) {
+  // The paper's named extension (§VI): TI over the same coordinate.
+  const double k_well = 1.2;
+  spice::md::Engine engine = make_well_engine(77);
+  auto well = std::make_shared<spice::smd::StaticRestraint>(std::vector<std::uint32_t>{0},
+                                                            Vec3{0, 0, 1.0}, k_well, 0.0);
+  well->attach_reference({0, 0, 0});
+  engine.add_contribution(well);
+
+  TiConfig config;
+  config.xi_min = 0.0;
+  config.xi_max = 3.0;
+  config.points = 7;
+  config.kappa = 40.0;  // stiff restraint: ⟨ξ⟩ ≈ λ
+  config.equilibration_steps = 800;
+  config.sampling_steps = 5000;
+  const std::vector<std::uint32_t> atoms{0};
+  const TiResult result =
+      run_thermodynamic_integration(engine, atoms, Vec3{0, 0, 1.0}, Vec3{0, 0, 0}, config);
+
+  ASSERT_EQ(result.points.size(), 7u);
+  // Mean force at the top window ≈ k·λ (the well's restoring force).
+  EXPECT_NEAR(result.points.back().mean_force, k_well * 3.0 * (config.kappa / (config.kappa + k_well)),
+              0.6);
+  for (double xi = 1.0; xi <= 3.01; xi += 1.0) {
+    EXPECT_NEAR(pmf_at(result.pmf, xi),
+                0.5 * (k_well * config.kappa / (k_well + config.kappa)) * xi * xi, 0.6)
+        << "xi=" << xi;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,591 @@
+// Grid substrate: DES invariants, batch scheduling with backfill,
+// reservations, failures, federation brokering, co-scheduling and the
+// §V-C.3 coordination-process model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "grid/coordination.hpp"
+#include "grid/coscheduling.hpp"
+#include "grid/des.hpp"
+#include "grid/federation.hpp"
+#include "grid/metrics.hpp"
+#include "grid/site.hpp"
+#include "grid/workflow.hpp"
+#include "grid/workload.hpp"
+
+namespace {
+
+using namespace spice;
+using namespace spice::grid;
+
+// --- DES core -----------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(3.0, [&] { order.push_back(3); });
+  q.at(1.0, [&] { order.push_back(1); });
+  q.at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.at(1.0, [&] {
+    ++fired;
+    q.after(1.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.at(1.0, [&] { ++fired; });
+  q.at(10.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.at(1.0, [] {}), PreconditionError);
+}
+
+// --- Site scheduling -------------------------------------------------------------
+
+Job make_job(JobId id, int procs, double hours) {
+  Job j;
+  j.id = id;
+  j.name = "job" + std::to_string(id);
+  j.processors = procs;
+  j.runtime_hours = hours;
+  return j;
+}
+
+struct SiteFixture {
+  EventQueue events;
+  Site site;
+  std::vector<Job> done;
+  explicit SiteFixture(SiteSpec spec = {.name = "S", .grid = "G", .processors = 128})
+      : site(std::move(spec), events) {
+    site.set_completion_handler([this](const Job& j) { done.push_back(j); });
+  }
+};
+
+TEST(Site, RunsJobImmediatelyWhenIdle) {
+  SiteFixture f;
+  f.site.submit(make_job(1, 64, 2.0));
+  f.events.run();
+  ASSERT_EQ(f.done.size(), 1u);
+  EXPECT_EQ(f.done[0].state, JobState::Completed);
+  EXPECT_DOUBLE_EQ(f.done[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(f.done[0].end_time, 2.0);
+}
+
+TEST(Site, SpeedScalesRuntime) {
+  SiteFixture f({.name = "fast", .grid = "G", .processors = 128, .speed = 2.0});
+  f.site.submit(make_job(1, 64, 2.0));
+  f.events.run();
+  EXPECT_DOUBLE_EQ(f.done[0].end_time, 1.0);
+}
+
+TEST(Site, QueuesWhenFull) {
+  SiteFixture f;
+  f.site.submit(make_job(1, 128, 4.0));
+  f.site.submit(make_job(2, 128, 1.0));
+  f.events.run();
+  ASSERT_EQ(f.done.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.done[1].start_time, 4.0);  // FCFS
+  EXPECT_DOUBLE_EQ(f.done[1].wait_hours(), 4.0);
+}
+
+TEST(Site, NeverOversubscribesProcessors) {
+  SiteFixture f;
+  // Many jobs of mixed sizes; invariant checked inside the site (SPICE_ENSURE)
+  // plus here via concurrent accounting.
+  for (JobId i = 0; i < 20; ++i) f.site.submit(make_job(i, 48, 1.0 + (i % 3)));
+  f.events.run();
+  EXPECT_EQ(f.done.size(), 20u);
+  // Reconstruct concurrency from the timeline.
+  for (double t = 0.25; t < 20.0; t += 0.5) {
+    int used = 0;
+    for (const auto& j : f.done) {
+      if (j.start_time <= t && t < j.end_time) used += j.processors;
+    }
+    EXPECT_LE(used, 128) << "at t=" << t;
+  }
+}
+
+TEST(Site, BackfillFillsHolesWithoutDelayingHead) {
+  SiteFixture f;
+  f.site.submit(make_job(1, 100, 4.0));  // running; 28 procs free
+  f.site.submit(make_job(2, 128, 2.0));  // head: must wait for everything
+  f.site.submit(make_job(3, 20, 3.0));   // fits now and ends at 3 < 4 → backfill
+  f.site.submit(make_job(4, 20, 10.0));  // fits now but would end at 10 > 4 → no
+  f.events.run();
+  ASSERT_EQ(f.done.size(), 4u);
+  auto find = [&](JobId id) {
+    for (const auto& j : f.done) {
+      if (j.id == id) return j;
+    }
+    throw std::runtime_error("missing job");
+  };
+  EXPECT_DOUBLE_EQ(find(3).start_time, 0.0);   // backfilled
+  EXPECT_DOUBLE_EQ(find(2).start_time, 4.0);   // head undelayed
+  EXPECT_GE(find(4).start_time, 4.0);          // waited
+}
+
+TEST(Site, ReservationBlocksBatchJobs) {
+  SiteFixture f;
+  f.site.add_reservation({2.0, 6.0, 128, "demo"});
+  f.site.submit(make_job(1, 128, 3.0));  // would overlap [0,3) with the reservation
+  f.events.run();
+  ASSERT_EQ(f.done.size(), 1u);
+  // Must wait until the reservation ends at 6.
+  EXPECT_DOUBLE_EQ(f.done[0].start_time, 6.0);
+}
+
+TEST(Site, SmallJobRunsBesideReservation) {
+  SiteFixture f;
+  f.site.add_reservation({2.0, 6.0, 64, "demo"});
+  f.site.submit(make_job(1, 32, 3.0));  // 32 + 64 ≤ 128 at all times
+  f.events.run();
+  EXPECT_DOUBLE_EQ(f.done[0].start_time, 0.0);
+}
+
+TEST(Site, OutageKillsRunningAndQueuedJobs) {
+  SiteFixture f;
+  f.site.submit(make_job(1, 128, 10.0));
+  f.site.submit(make_job(2, 64, 1.0));
+  f.events.at(3.0, [&] { f.site.fail_until(50.0); });
+  f.events.run();
+  ASSERT_EQ(f.done.size(), 2u);
+  EXPECT_EQ(f.done[0].state, JobState::Failed);
+  EXPECT_EQ(f.done[1].state, JobState::Failed);
+  EXPECT_TRUE(f.site.in_outage() || f.events.now() >= 50.0);
+}
+
+TEST(Site, RejectsOversizeJob) {
+  SiteFixture f;
+  f.site.submit(make_job(1, 4096, 1.0));
+  ASSERT_EQ(f.done.size(), 1u);
+  EXPECT_EQ(f.done[0].state, JobState::Failed);
+}
+
+TEST(Site, BusyProcHoursAccounting) {
+  SiteFixture f;
+  f.site.submit(make_job(1, 64, 2.0));
+  f.site.submit(make_job(2, 64, 3.0));
+  f.events.run();
+  EXPECT_DOUBLE_EQ(f.site.busy_proc_hours(), 64 * 2.0 + 64 * 3.0);
+}
+
+// --- workload generator --------------------------------------------------------------
+
+TEST(Workload, GeneratesRequestedUtilization) {
+  EventQueue events;
+  Site site({.name = "big", .grid = "G", .processors = 512}, events);
+  WorkloadParams params;
+  params.target_utilization = 0.6;
+  params.horizon_hours = 300.0;
+  const std::size_t n = generate_background_load(site, events, params);
+  EXPECT_GT(n, 10u);
+  events.run();
+  // Utilization of the busy window should be in the rough vicinity of the
+  // target (queueing + finite horizon make it inexact).
+  const double window = events.now();
+  const double utilization = site.busy_proc_hours() / (512.0 * window);
+  EXPECT_GT(utilization, 0.3);
+  EXPECT_LT(utilization, 0.9);
+}
+
+TEST(Workload, ZeroUtilizationGeneratesNothing) {
+  EventQueue events;
+  Site site({.name = "s", .grid = "G", .processors = 128}, events);
+  WorkloadParams params;
+  params.target_utilization = 0.0;
+  EXPECT_EQ(generate_background_load(site, events, params), 0u);
+}
+
+// --- federation & broker ----------------------------------------------------------------
+
+TEST(Federation, BuildsThePaperTopology) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  EXPECT_EQ(fed.sites().size(), 8u);
+  EXPECT_NE(fed.find("NCSA"), nullptr);
+  EXPECT_NE(fed.find("HPCx"), nullptr);
+  EXPECT_EQ(fed.sites_in_grid("TeraGrid").size(), 3u);
+  EXPECT_EQ(fed.sites_in_grid("NGS").size(), 5u);
+  EXPECT_TRUE(fed.find("PSC")->spec().hidden_ip);
+  EXPECT_FALSE(fed.find("HPCx")->spec().lightpath);
+}
+
+CampaignConfig small_campaign(std::size_t n_jobs, BrokerPolicy policy,
+                              const std::string& single = "") {
+  CampaignConfig c;
+  for (JobId i = 0; i < n_jobs; ++i) c.jobs.push_back(make_job(i + 1, 128, 8.0));
+  c.policy = policy;
+  c.single_site = single;
+  return c;
+}
+
+TEST(Broker, CompletesCampaignAcrossFederation) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  Broker broker(fed, small_campaign(24, BrokerPolicy::LeastBacklog));
+  broker.submit_all();
+  events.run();
+  ASSERT_TRUE(broker.done());
+  const CampaignResult r = broker.result();
+  EXPECT_EQ(r.completed, 24u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_GT(r.jobs_per_site.size(), 1u);  // actually spread out
+  EXPECT_GT(r.total_cpu_hours, 0.0);
+}
+
+TEST(Broker, SingleSitePolicyUsesOneSite) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  Broker broker(fed, small_campaign(8, BrokerPolicy::SingleSite, "SDSC"));
+  broker.submit_all();
+  events.run();
+  const CampaignResult r = broker.result();
+  EXPECT_EQ(r.completed, 8u);
+  ASSERT_EQ(r.jobs_per_site.size(), 1u);
+  EXPECT_EQ(r.jobs_per_site.begin()->first, "SDSC");
+  // SDSC has 512 procs → 4 concurrent 128-proc jobs → two waves of 8 h.
+  EXPECT_DOUBLE_EQ(r.makespan_hours, 16.0);
+}
+
+TEST(Broker, FederationBeatsSingleSiteOnMakespan) {
+  auto run = [](BrokerPolicy policy, const std::string& single) {
+    EventQueue events;
+    Federation fed(events);
+    build_spice_federation(fed);
+    Broker broker(fed, small_campaign(40, policy, single));
+    broker.submit_all();
+    events.run();
+    return broker.result().makespan_hours;
+  };
+  const double federated = run(BrokerPolicy::LeastBacklog, "");
+  const double single = run(BrokerPolicy::SingleSite, "SDSC");
+  EXPECT_LT(federated, single);
+}
+
+TEST(Broker, RequeuesJobsAfterOutage) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  // Force everything onto Manchester first, then take it down.
+  CampaignConfig config = small_campaign(4, BrokerPolicy::SingleSite, "Manchester");
+  config.policy = BrokerPolicy::SingleSite;
+  Broker broker(fed, config);
+  broker.submit_all();
+  events.at(1.0, [&] { fed.find("Manchester")->fail_until(500.0); });
+  events.run();
+  ASSERT_TRUE(broker.done());
+  const CampaignResult r = broker.result();
+  // Jobs failed on Manchester but the broker routed the retries elsewhere…
+  // except policy SingleSite pins them; they fail outright once the site
+  // rejects them. Verify the accounting is consistent either way.
+  EXPECT_EQ(r.completed + r.failed, 4u);
+}
+
+TEST(Broker, LeastBacklogSurvivesOutageViaRequeue) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  Broker broker(fed, small_campaign(30, BrokerPolicy::LeastBacklog));
+  broker.submit_all();
+  events.at(0.5, [&] { fed.find("NCSA")->fail_until(400.0); });
+  events.run();
+  const CampaignResult r = broker.result();
+  EXPECT_EQ(r.completed, 30u) << "redundant sites must absorb the outage";
+  EXPECT_EQ(r.failed, 0u);
+}
+
+// --- co-scheduling ---------------------------------------------------------------------
+
+TEST(CoSchedule, FindsImmediateWindowOnEmptyCalendars) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  CoScheduleRequest req;
+  req.requirements = {{fed.find("NCSA"), 256, true}, {fed.find("Manchester"), 16, true}};
+  req.duration_hours = 4.0;
+  const auto outcome = find_common_window(req);
+  ASSERT_TRUE(outcome.feasible);
+  EXPECT_DOUBLE_EQ(outcome.start, 0.0);
+}
+
+TEST(CoSchedule, LightpathRequirementExcludesSites) {
+  // HPCx has no lightpath — the §V-C.2 finding.
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  CoScheduleRequest req;
+  req.requirements = {{fed.find("HPCx"), 256, true}};
+  const auto outcome = find_common_window(req);
+  EXPECT_FALSE(outcome.feasible);
+  EXPECT_NE(outcome.infeasible_reason.find("lightpath"), std::string::npos);
+}
+
+TEST(CoSchedule, SkipsOverExistingReservations) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  Site* sdsc = fed.find("SDSC");
+  sdsc->add_reservation({0.0, 24.0, 512, "other-project"});
+  CoScheduleRequest req;
+  req.requirements = {{sdsc, 256, false}};
+  req.duration_hours = 4.0;
+  const auto outcome = find_common_window(req);
+  ASSERT_TRUE(outcome.feasible);
+  EXPECT_DOUBLE_EQ(outcome.start, 24.0);
+}
+
+TEST(CoSchedule, ReserveBooksAllSites) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  CoScheduleRequest req;
+  req.requirements = {{fed.find("NCSA"), 256, true}, {fed.find("Manchester"), 16, true}};
+  const auto outcome = reserve_common_window(req, "spice");
+  ASSERT_TRUE(outcome.feasible);
+  EXPECT_EQ(fed.find("NCSA")->reservations().size(), 1u);
+  EXPECT_EQ(fed.find("Manchester")->reservations().size(), 1u);
+  EXPECT_EQ(fed.find("NCSA")->reservations()[0].holder, "spice");
+}
+
+// --- coordination workflow model -----------------------------------------------------------
+
+TEST(Coordination, ManualAnecdoteScale) {
+  // The paper's anecdote: ~a dozen emails and three errors can happen for
+  // one reservation. The model must place that within its support.
+  bool saw_heavy_case = false;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto o = simulate_manual_coordination(1, ManualProcessParams{}, seed);
+    if (o.emails >= 12 && o.errors >= 3) saw_heavy_case = true;
+  }
+  EXPECT_TRUE(saw_heavy_case);
+}
+
+TEST(Coordination, ManualSuccessDecaysWithSiteCount) {
+  const auto s1 = summarize_manual(1, 400, ManualProcessParams{}, 5);
+  const auto s4 = summarize_manual(4, 400, ManualProcessParams{}, 5);
+  const auto s8 = summarize_manual(8, 400, ManualProcessParams{}, 5);
+  EXPECT_GT(s1.success_rate, s4.success_rate);
+  EXPECT_GT(s4.success_rate, s8.success_rate);
+}
+
+TEST(Coordination, AutomatedScalesWhereManualDoesNot) {
+  const auto manual = summarize_manual(6, 400, ManualProcessParams{}, 7);
+  const auto automated = summarize_automated(6, 400, AutomatedProcessParams{}, 7);
+  EXPECT_GT(automated.success_rate, manual.success_rate);
+  EXPECT_GT(automated.success_rate, 0.8);
+  EXPECT_LT(automated.mean_elapsed_hours, 2.0);
+  EXPECT_DOUBLE_EQ(automated.mean_emails, 0.0);
+}
+
+// --- DAG workflows -----------------------------------------------------------------------
+
+TEST(Workflow, LinearChainRunsInOrder) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  WorkflowEngine workflow(fed);
+  const auto a = workflow.add_node(make_job(1, 128, 2.0));
+  const auto b = workflow.add_node(make_job(2, 128, 2.0), {a});
+  const auto c = workflow.add_node(make_job(3, 128, 2.0), {b});
+  workflow.start();
+  events.run();
+  ASSERT_TRUE(workflow.done());
+  const WorkflowResult r = workflow.result();
+  EXPECT_EQ(r.completed, 3u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.critical_path_nodes, 3u);
+  // A strict chain cannot finish faster than the sum of runtimes (speed ≤ 1.1).
+  EXPECT_GE(r.makespan_hours, 3 * 2.0 / 1.1 - 1e-9);
+  EXPECT_EQ(r.states.at(c), NodeState::Completed);
+}
+
+TEST(Workflow, DiamondRunsFanOutInParallel) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  WorkflowEngine workflow(fed);
+  const auto src = workflow.add_node(make_job(1, 128, 1.0));
+  const auto left = workflow.add_node(make_job(2, 128, 4.0), {src});
+  const auto right = workflow.add_node(make_job(3, 128, 4.0), {src});
+  workflow.add_node(make_job(4, 128, 1.0), {left, right});
+  workflow.start();
+  events.run();
+  const WorkflowResult r = workflow.result();
+  EXPECT_EQ(r.completed, 4u);
+  EXPECT_EQ(r.critical_path_nodes, 3u);
+  // Parallel middle layer: makespan well below the serial sum of 10 h.
+  EXPECT_LT(r.makespan_hours, 9.0);
+}
+
+TEST(Workflow, FailurePropagatesToDependents) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  WorkflowEngine workflow(fed);
+  const auto ok = workflow.add_node(make_job(1, 128, 1.0));
+  // An impossible job: bigger than every machine → fails after retries.
+  const auto bad = workflow.add_node(make_job(2, 1 << 20, 1.0));
+  const auto doomed = workflow.add_node(make_job(3, 128, 1.0), {bad});
+  const auto fine = workflow.add_node(make_job(4, 128, 1.0), {ok});
+  workflow.start();
+  events.run();
+  const WorkflowResult r = workflow.result();
+  EXPECT_EQ(r.states.at(ok), NodeState::Completed);
+  EXPECT_EQ(r.states.at(bad), NodeState::Failed);
+  EXPECT_EQ(r.states.at(doomed), NodeState::Failed);
+  EXPECT_EQ(r.states.at(fine), NodeState::Completed);
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.failed, 2u);
+}
+
+TEST(Workflow, RejectsBadConstruction) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  WorkflowEngine workflow(fed);
+  EXPECT_THROW(workflow.add_node(make_job(1, 128, 1.0), {5}), PreconditionError);
+  EXPECT_THROW(workflow.start(), PreconditionError);  // empty
+}
+
+TEST(Workflow, SpicePhaseChain) {
+  // The pipeline's shape: preprocessing fan-out → production fan-out →
+  // one analysis job.
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  WorkflowEngine workflow(fed);
+  std::vector<NodeId> preprocessing;
+  JobId next = 1;
+  for (int i = 0; i < 4; ++i) {
+    preprocessing.push_back(workflow.add_node(make_job(next++, 128, 2.0)));
+  }
+  std::vector<NodeId> production;
+  for (int i = 0; i < 12; ++i) {
+    production.push_back(workflow.add_node(make_job(next++, 128, 6.0), preprocessing));
+  }
+  workflow.add_node(make_job(next++, 32, 1.0), production);
+  workflow.start();
+  events.run();
+  const WorkflowResult r = workflow.result();
+  EXPECT_EQ(r.completed, 17u);
+  EXPECT_EQ(r.critical_path_nodes, 3u);
+}
+
+// --- campaign metrics --------------------------------------------------------------------
+
+std::vector<Job> metric_jobs() {
+  std::vector<Job> jobs;
+  auto add = [&jobs](JobId id, const std::string& site, int procs, double submit,
+                     double start, double end, JobState state) {
+    Job j;
+    j.id = id;
+    j.site = site;
+    j.processors = procs;
+    j.submit_time = submit;
+    j.start_time = start;
+    j.end_time = end;
+    j.state = state;
+    jobs.push_back(j);
+  };
+  add(1, "NCSA", 128, 0.0, 1.0, 5.0, JobState::Completed);   // wait 1
+  add(2, "NCSA", 128, 0.0, 3.0, 7.0, JobState::Completed);   // wait 3
+  add(3, "SDSC", 256, 0.0, 2.0, 4.0, JobState::Completed);   // wait 2
+  add(4, "SDSC", 256, 0.0, 10.0, 20.0, JobState::Failed);    // ignored
+  return jobs;
+}
+
+TEST(Metrics, WaitStatistics) {
+  const auto stats = wait_statistics(metric_jobs());
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_hours, 2.0);
+  EXPECT_DOUBLE_EQ(stats.median_hours, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_hours, 3.0);
+}
+
+TEST(Metrics, WaitStatisticsEmpty) {
+  const auto stats = wait_statistics({});
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_hours, 0.0);
+}
+
+TEST(Metrics, SiteShares) {
+  const auto shares = site_shares(metric_jobs());
+  ASSERT_EQ(shares.size(), 2u);  // NCSA + SDSC (failed job excluded)
+  const auto& ncsa = shares[0].site == "NCSA" ? shares[0] : shares[1];
+  EXPECT_EQ(ncsa.jobs, 2u);
+  EXPECT_DOUBLE_EQ(ncsa.cpu_hours, 128 * 4.0 + 128 * 4.0);
+  EXPECT_DOUBLE_EQ(ncsa.mean_wait_hours, 2.0);
+}
+
+TEST(Metrics, ConcurrencyAndPeak) {
+  const auto jobs = metric_jobs();
+  EXPECT_EQ(processors_in_use(jobs, 0.5), 0);
+  EXPECT_EQ(processors_in_use(jobs, 2.5), 128 + 256);  // jobs 1 and 3
+  EXPECT_EQ(processors_in_use(jobs, 3.5), 128 + 128 + 256);
+  EXPECT_EQ(processors_in_use(jobs, 6.0), 128);
+  EXPECT_EQ(peak_processors(jobs, 500), 512);
+  const auto timeline = concurrency_timeline(jobs, 10);
+  ASSERT_EQ(timeline.size(), 10u);
+  EXPECT_DOUBLE_EQ(timeline.front().time_hours, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.back().time_hours, 7.0);
+}
+
+TEST(Metrics, RealCampaignProducesSensibleMetrics) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  Broker broker(fed, small_campaign(20, BrokerPolicy::LeastBacklog));
+  broker.submit_all();
+  events.run();
+  const CampaignResult r = broker.result();
+  const auto stats = wait_statistics(r.finished_jobs);
+  EXPECT_EQ(stats.jobs, 20u);
+  EXPECT_GE(stats.p95_hours, stats.median_hours);
+  EXPECT_GT(peak_processors(r.finished_jobs), 128);
+}
+
+TEST(Coordination, ManualEmailsGrowWithSites) {
+  const auto s2 = summarize_manual(2, 300, ManualProcessParams{}, 9);
+  const auto s6 = summarize_manual(6, 300, ManualProcessParams{}, 9);
+  EXPECT_GT(s6.mean_emails, s2.mean_emails * 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// End-to-end integration: a reduced Fig. 4 sweep must reproduce the
+// paper's qualitative orderings, and the four-phase pipeline must run
+// through on a small configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "fe/pmf.hpp"
+#include "spice/campaign.hpp"
+#include "spice/optimizer.hpp"
+#include "spice/pipeline.hpp"
+
+namespace {
+
+using namespace spice;
+using namespace spice::core;
+
+/// One shared reduced sweep (expensive → computed once for the suite).
+class Fig4SweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SweepConfig config;
+    config.kappas_pn = {10.0, 100.0, 1000.0};
+    config.velocities_ns = {25.0, 100.0};
+    config.samples_at_slowest = 4;
+    config.grid_points = 11;
+    config.bootstrap_resamples = 48;
+    config.seed = 2005;
+    result_ = new SweepResult(run_parameter_sweep(config, /*compute_reference=*/true));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+
+  static double mean_stat_for_kappa(double kappa) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& c : result_->combos) {
+      if (c.kappa_pn == kappa) {
+        sum += c.mean_sigma_stat;
+        ++n;
+      }
+    }
+    return sum / n;
+  }
+  static double mean_sys_for_kappa(double kappa) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& s : result_->scores) {
+      if (s.kappa_pn == kappa) {
+        sum += s.sigma_sys;
+        ++n;
+      }
+    }
+    return sum / n;
+  }
+  static const SweepResult& result() { return *result_; }
+
+ private:
+  static SweepResult* result_;
+};
+
+SweepResult* Fig4SweepTest::result_ = nullptr;
+
+TEST_F(Fig4SweepTest, SweepCoversAllCells) {
+  EXPECT_EQ(result().combos.size(), 6u);
+  EXPECT_TRUE(result().has_reference);
+  EXPECT_EQ(result().scores.size(), 6u);
+}
+
+TEST_F(Fig4SweepTest, WeakSpringHasLeastStatisticalError) {
+  // Paper §IV-B/C: "The PMF for κ=10pN/Å has least σ_stat".
+  EXPECT_LT(mean_stat_for_kappa(10.0), mean_stat_for_kappa(100.0));
+  EXPECT_LT(mean_stat_for_kappa(10.0), mean_stat_for_kappa(1000.0));
+}
+
+TEST_F(Fig4SweepTest, StiffSpringHasLargestStatisticalError) {
+  // "The σ_stat is largest for κ=1000pN/Å".
+  EXPECT_GT(mean_stat_for_kappa(1000.0), mean_stat_for_kappa(100.0));
+  EXPECT_GT(mean_stat_for_kappa(1000.0), mean_stat_for_kappa(10.0));
+}
+
+TEST_F(Fig4SweepTest, WeakSpringHasLargestSystematicError) {
+  // "…but largest systematic (σ_sys) errors": the uncoupled spring smears
+  // the landscape.
+  EXPECT_GT(mean_sys_for_kappa(10.0), mean_sys_for_kappa(100.0));
+}
+
+TEST_F(Fig4SweepTest, FasterPullingIncreasesDissipation) {
+  // §IV-C: larger v produces more irreversible work.
+  std::map<double, std::map<double, double>> dissipated;
+  for (const auto& c : result().combos) {
+    dissipated[c.kappa_pn][c.velocity_ns] = c.mean_dissipated_work;
+  }
+  // At κ = 100 (the paper's production spring) dissipation grows with v.
+  // κ = 1000 sits in the stick-slip regime where per-site dissipation
+  // plateaus and small-sample JE noise dominates, so it is not asserted.
+  EXPECT_GT(dissipated[100.0][100.0], dissipated[100.0][25.0]);
+}
+
+TEST_F(Fig4SweepTest, OptimizerPicksTheTradeoffSpring) {
+  const OptimizerReport report = select_optimal_parameters(result().scores);
+  EXPECT_DOUBLE_EQ(report.best.kappa_pn, 100.0);
+  // Slowest velocity in the sweep wins the tie-break (the paper's v=12.5
+  // maps to our reduced sweep's v=25).
+  EXPECT_DOUBLE_EQ(report.best.velocity_ns, 25.0);
+}
+
+TEST_F(Fig4SweepTest, ReferenceProfileIsAnchoredAndFinite) {
+  const auto& ref = result().reference;
+  ASSERT_GE(ref.lambda.size(), 5u);
+  EXPECT_NEAR(spice::fe::pmf_at(ref, 0.0), 0.0, 1e-9);
+  for (const double phi : ref.phi) {
+    EXPECT_TRUE(std::isfinite(phi));
+    EXPECT_LT(std::abs(phi), 50.0);  // kcal/mol scale sanity
+  }
+}
+
+// --- full pipeline ---------------------------------------------------------------
+
+TEST(Pipeline, RunsAllFourPhasesOnSmallConfig) {
+  PipelineConfig config;
+  config.sweep.kappas_pn = {10.0, 100.0};
+  config.sweep.velocities_ns = {50.0, 200.0};
+  config.sweep.samples_at_slowest = 2;
+  config.sweep.grid_points = 6;
+  config.sweep.pull_distance = 4.0;
+  config.sweep.bootstrap_resamples = 16;
+  config.sweep.use_small_system();
+  config.imd_steps = 200;
+  config.paper_replicas_per_cell = 2;
+
+  const PipelineReport report = run_full_pipeline(config);
+
+  // Phase 1: the structural numbers match the hemolysin geometry.
+  EXPECT_NEAR(report.statics.constriction_radius, 7.0, 0.5);
+  EXPECT_FALSE(report.statics.rendering.empty());
+
+  // Phase 2: interactive session ran over the lightpath with high
+  // efficiency and produced a κ bracket.
+  EXPECT_TRUE(report.interactive.coschedule_feasible);
+  EXPECT_EQ(report.interactive.network_used, "lightpath-transatlantic");
+  EXPECT_GT(report.interactive.imd.efficiency(), 0.8);
+  EXPECT_GT(report.interactive.suggested_kappa_hi_pn,
+            report.interactive.suggested_kappa_lo_pn);
+
+  // Phase 3: preprocessing retained at least one κ.
+  EXPECT_FALSE(report.preprocessing.retained_kappas_pn.empty());
+
+  // Phase 4: production science + grid execution + cost accounting.
+  EXPECT_FALSE(report.production.sweep.combos.empty());
+  EXPECT_TRUE(report.production.sweep.has_reference);
+  EXPECT_EQ(report.production.execution.campaign.completed,
+            report.production.plan.jobs.size());
+  EXPECT_GT(report.production.cost.reduction_vs_vanilla, 1.0);
+  EXPECT_FALSE(report.production.optimal.rationale.empty());
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Pore geometry, DNA builder and translocation-system assembly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "md/observables.hpp"
+#include "pore/current.hpp"
+#include "pore/dna.hpp"
+#include "pore/pore_potential.hpp"
+#include "pore/profile.hpp"
+#include "pore/system.hpp"
+
+namespace {
+
+using namespace spice;
+using namespace spice::pore;
+
+// --- radius profile -----------------------------------------------------------
+
+TEST(RadiusProfile, InterpolatesControlPointsExactly) {
+  const RadiusProfile profile({{-10.0, 5.0}, {0.0, 2.0}, {10.0, 8.0}});
+  EXPECT_DOUBLE_EQ(profile.radius(-10.0), 5.0);
+  EXPECT_DOUBLE_EQ(profile.radius(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(profile.radius(10.0), 8.0);
+}
+
+TEST(RadiusProfile, ClampsOutsideRange) {
+  const RadiusProfile profile({{-10.0, 5.0}, {10.0, 8.0}});
+  EXPECT_DOUBLE_EQ(profile.radius(-100.0), 5.0);
+  EXPECT_DOUBLE_EQ(profile.radius(100.0), 8.0);
+  EXPECT_DOUBLE_EQ(profile.radius_derivative(-100.0), 0.0);
+}
+
+TEST(RadiusProfile, DerivativeMatchesFiniteDifference) {
+  const RadiusProfile profile = hemolysin_profile();
+  for (double z = -70.0; z <= 65.0; z += 3.7) {
+    const double h = 1e-6;
+    const double numeric = (profile.radius(z + h) - profile.radius(z - h)) / (2 * h);
+    EXPECT_NEAR(profile.radius_derivative(z), numeric, 1e-5) << "z=" << z;
+  }
+}
+
+TEST(RadiusProfile, ContinuousAcrossSegmentBoundaries) {
+  const RadiusProfile profile = hemolysin_profile();
+  for (const auto& cp : profile.control_points()) {
+    const double eps = 1e-9;
+    EXPECT_NEAR(profile.radius(cp.z - eps), profile.radius(cp.z + eps), 1e-6);
+  }
+}
+
+TEST(RadiusProfile, RejectsBadControlPoints) {
+  EXPECT_THROW(RadiusProfile({{0.0, 1.0}}), PreconditionError);                 // too few
+  EXPECT_THROW(RadiusProfile({{0.0, 1.0}, {0.0, 2.0}}), PreconditionError);     // equal z
+  EXPECT_THROW(RadiusProfile({{1.0, 1.0}, {0.0, 2.0}}), PreconditionError);     // decreasing
+  EXPECT_THROW(RadiusProfile({{0.0, 1.0}, {1.0, -2.0}}), PreconditionError);    // negative R
+}
+
+TEST(HemolysinProfile, HasPaperGeometry) {
+  const RadiusProfile profile = hemolysin_profile();
+  const auto constriction = profile.constriction();
+  // ~7 Å constriction near z = 0 (the vestibule–barrel junction).
+  EXPECT_NEAR(constriction.radius, 7.0, 0.5);
+  EXPECT_NEAR(constriction.z, 0.0, 3.0);
+  // ~22 Å vestibule, ~10 Å barrel.
+  EXPECT_NEAR(profile.radius(30.0), 22.0, 1.0);
+  EXPECT_NEAR(profile.radius(-25.0), 9.5, 1.0);
+  // Mouths are wide open.
+  EXPECT_GT(profile.radius(65.0), 25.0);
+  EXPECT_GT(profile.radius(-70.0), 25.0);
+}
+
+// --- DNA builder -----------------------------------------------------------------
+
+TEST(DnaBuilder, BuildsChainWithExpectedTopology) {
+  DnaParams params;
+  params.nucleotides = 8;
+  const DnaChain chain = build_ssdna(params, -5.0);
+  EXPECT_EQ(chain.topology.particle_count(), 8u);
+  EXPECT_EQ(chain.topology.bonds().size(), 7u);
+  EXPECT_EQ(chain.topology.angles().size(), 6u);
+  EXPECT_EQ(chain.selection.size(), 8u);
+  EXPECT_DOUBLE_EQ(chain.topology.total_charge(), -8.0);
+  // Head at head_z, subsequent beads ascending by the bond length.
+  EXPECT_DOUBLE_EQ(chain.positions.front().z, -5.0);
+  EXPECT_DOUBLE_EQ(chain.positions.back().z, -5.0 + 7 * params.bond_length);
+}
+
+TEST(DnaBuilder, ChainStartsAtRestLength) {
+  const DnaChain chain = build_ssdna(DnaParams{}, 0.0);
+  for (std::size_t i = 0; i + 1 < chain.positions.size(); ++i) {
+    EXPECT_NEAR(distance(chain.positions[i], chain.positions[i + 1]),
+                chain.params.bond_length, 1e-12);
+  }
+}
+
+TEST(DnaBuilder, RejectsTinyChain) {
+  DnaParams params;
+  params.nucleotides = 1;
+  EXPECT_THROW(build_ssdna(params, 0.0), PreconditionError);
+}
+
+// --- translocation system -----------------------------------------------------------
+
+TEST(TranslocationSystem, BuildsAndHoldsTemperature) {
+  TranslocationConfig config;
+  config.dna.nucleotides = 8;
+  config.equilibration_steps = 1500;
+  config.md.seed = 3;
+  TranslocationSystem system = build_translocation_system(config);
+  EXPECT_EQ(system.engine.topology().particle_count(), 8u);
+  EXPECT_EQ(system.dna_selection.size(), 8u);
+  // After equilibration the instantaneous temperature is thermal-ish.
+  EXPECT_GT(system.engine.instantaneous_temperature(), 120.0);
+  EXPECT_LT(system.engine.instantaneous_temperature(), 600.0);
+}
+
+TEST(TranslocationSystem, ChainStaysInsideLumen) {
+  TranslocationConfig config;
+  config.dna.nucleotides = 10;
+  config.equilibration_steps = 4000;
+  config.md.seed = 5;
+  TranslocationSystem system = build_translocation_system(config);
+  const auto& profile = system.pore->profile();
+  for (const auto& r : system.engine.positions()) {
+    const double rho = std::sqrt(r.x * r.x + r.y * r.y);
+    // Soft walls allow small excursions; 3 Å of slack.
+    EXPECT_LT(rho, profile.radius(r.z) + 3.0) << "bead escaped the lumen at z=" << r.z;
+  }
+}
+
+TEST(TranslocationSystem, EquilibrationPreservesConnectivity) {
+  TranslocationConfig config;
+  config.dna.nucleotides = 10;
+  config.equilibration_steps = 4000;
+  config.md.seed = 7;
+  TranslocationSystem system = build_translocation_system(config);
+  const auto profile =
+      spice::md::bond_extension_profile(system.engine.positions(), system.engine.topology());
+  for (const auto& b : profile) {
+    EXPECT_LT(std::abs(b.strain()), 0.5) << "bond broke or collapsed";
+  }
+}
+
+// --- ionic current model -----------------------------------------------------------
+
+TEST(IonicCurrent, OpenPoreCurrentScalesWithVoltage) {
+  const auto profile = hemolysin_profile();
+  CurrentModelParams params;
+  const double i120 = open_pore_current(profile, params);
+  params.voltage_mv = 240.0;
+  const double i240 = open_pore_current(profile, params);
+  EXPECT_GT(i120, 0.0);
+  EXPECT_NEAR(i240 / i120, 2.0, 1e-9);  // ohmic
+}
+
+TEST(IonicCurrent, BeadInConstrictionBlocksMoreThanInVestibule) {
+  const auto profile = hemolysin_profile();
+  // Use a barrel-window model so a bead in the (wide) vestibule is outside
+  // the integration range — it should barely matter even when included;
+  // the constriction dominates the access resistance.
+  CurrentModelParams params;
+  params.z_lo = -50.0;
+  params.z_hi = 10.0;
+  const double open = open_pore_current(profile, params);
+  const std::vector<Vec3> at_constriction{{0, 0, 0.0}};
+  const std::vector<Vec3> in_vestibule{{0, 0, 8.0}};
+  const double blocked_constriction =
+      ionic_current(profile, at_constriction, 3.0, params);
+  const double blocked_vestibule = ionic_current(profile, in_vestibule, 3.0, params);
+  EXPECT_LT(blocked_constriction, blocked_vestibule);
+  EXPECT_LT(blocked_constriction, open);
+}
+
+TEST(IonicCurrent, ThreadedStrandGivesDeepBlockade) {
+  const auto profile = hemolysin_profile();
+  CurrentModelParams params;
+  const double open = open_pore_current(profile, params);
+  // Strand threaded through the barrel: beads every 6.5 Å along the axis,
+  // with the ~4.5 Å effective hydrodynamic blocking radius (counter-ion
+  // cloud + hydration) used by the event benches.
+  std::vector<Vec3> strand;
+  for (double z = -48.0; z <= 0.0; z += 6.5) strand.push_back({0, 0, z});
+  const double blocked = ionic_current(profile, strand, 4.5, params);
+  EXPECT_LT(blocked / open, 0.8);  // deep blockade, as in the experiments
+  EXPECT_GT(blocked, 0.0);         // but never exactly zero (leak floor)
+  // Far deeper than a single residue's blockade.
+  const std::vector<Vec3> one_bead{{0, 0, -25.0}};
+  EXPECT_LT(blocked, ionic_current(profile, one_bead, 4.5, params));
+}
+
+TEST(IonicCurrent, BeadOutsideLumenDoesNotBlock) {
+  const auto profile = hemolysin_profile();
+  CurrentModelParams params;
+  const double open = open_pore_current(profile, params);
+  const std::vector<Vec3> outside{{30.0, 0.0, -25.0}};  // beyond the wall
+  EXPECT_DOUBLE_EQ(ionic_current(profile, outside, 3.0, params), open);
+}
+
+TEST(BlockadeDetector, FindsEventsWithDwellAndDepth) {
+  // Synthetic trace: open (1.0) with two dips.
+  std::vector<double> trace(100, 10.0);
+  for (int i = 20; i < 30; ++i) trace[i] = 4.0;   // 10-sample event, depth 0.4
+  for (int i = 60; i < 64; ++i) trace[i] = 6.0;   // 4-sample event, depth 0.6
+  trace[80] = 3.0;                                 // too short — ignored
+  const auto events = detect_blockade_events(trace, 10.0, 0.8, 3);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start_index, 20u);
+  EXPECT_DOUBLE_EQ(events[0].dwell_samples, 10.0);
+  EXPECT_NEAR(events[0].mean_blockade, 0.4, 1e-12);
+  EXPECT_NEAR(events[1].min_blockade, 0.6, 1e-12);
+}
+
+TEST(BlockadeDetector, EventAtTraceEndIsClosed) {
+  std::vector<double> trace(20, 10.0);
+  for (int i = 15; i < 20; ++i) trace[i] = 2.0;
+  const auto events = detect_blockade_events(trace, 10.0, 0.8, 3);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].end_index, 20u);
+}
+
+TEST(BlockadeDetector, RejectsBadArguments) {
+  const std::vector<double> trace{1.0, 2.0};
+  EXPECT_THROW(detect_blockade_events(trace, 0.0, 0.8, 1), PreconditionError);
+  EXPECT_THROW(detect_blockade_events(trace, 1.0, 1.5, 1), PreconditionError);
+}
+
+TEST(IonicCurrent, LiveSystemTraceRespondsToStrandPosition) {
+  // Drive the strand down with a big voltage; the current should on
+  // average drop as more beads enter the barrel window.
+  TranslocationConfig config;
+  config.dna.nucleotides = 10;
+  config.head_z = -5.0;
+  config.pore.voltage_mv = 1500.0;
+  config.equilibration_steps = 500;
+  config.md.seed = 13;
+  TranslocationSystem system = build_translocation_system(config);
+  CurrentModelParams params;
+  const double open = open_pore_current(system.pore->profile(), params);
+  const double before = ionic_current(system.pore->profile(), system.engine.positions(),
+                                      config.dna.bead_radius, params);
+  system.engine.step(8000);
+  const double after = ionic_current(system.pore->profile(), system.engine.positions(),
+                                     config.dna.bead_radius, params);
+  EXPECT_LT(before, open);  // already partially threaded
+  EXPECT_LT(after, open);
+  EXPECT_GT(after, 0.0);
+}
+
+TEST(TranslocationSystem, FieldPullsStrandDownOnAverage) {
+  // With a strong voltage and no pulling, the negatively charged strand
+  // should drift toward the trans side (−z) during free dynamics.
+  TranslocationConfig config;
+  config.dna.nucleotides = 8;
+  config.pore.voltage_mv = 2000.0;  // exaggerated for a fast, clear signal
+  config.pore.site_amplitude = 0.0;
+  config.pore.affinity = 0.0;
+  config.equilibration_steps = 0;
+  config.md.seed = 11;
+  TranslocationSystem system = build_translocation_system(config);
+  const double z0 =
+      spice::md::center_of_mass(system.engine.positions(), system.engine.topology(),
+                                system.dna_selection)
+          .z;
+  system.engine.step(6000);
+  const double z1 =
+      spice::md::center_of_mass(system.engine.positions(), system.engine.topology(),
+                                system.dna_selection)
+          .z;
+  EXPECT_LT(z1, z0);
+}
+
+}  // namespace
