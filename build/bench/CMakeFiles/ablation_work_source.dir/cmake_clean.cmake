@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_work_source.dir/ablation_work_source.cpp.o"
+  "CMakeFiles/ablation_work_source.dir/ablation_work_source.cpp.o.d"
+  "ablation_work_source"
+  "ablation_work_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_work_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_campaign.dir/batch_campaign.cpp.o"
+  "CMakeFiles/batch_campaign.dir/batch_campaign.cpp.o.d"
+  "batch_campaign"
+  "batch_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_site_mpi.dir/cross_site_mpi.cpp.o"
+  "CMakeFiles/cross_site_mpi.dir/cross_site_mpi.cpp.o.d"
+  "cross_site_mpi"
+  "cross_site_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_site_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_translocation.dir/fig3_translocation.cpp.o"
+  "CMakeFiles/fig3_translocation.dir/fig3_translocation.cpp.o.d"
+  "fig3_translocation"
+  "fig3_translocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_translocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pmf.dir/fig4_pmf.cpp.o"
+  "CMakeFiles/fig4_pmf.dir/fig4_pmf.cpp.o.d"
+  "fig4_pmf"
+  "fig4_pmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_profile.dir/full_profile.cpp.o"
+  "CMakeFiles/full_profile.dir/full_profile.cpp.o.d"
+  "full_profile"
+  "full_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

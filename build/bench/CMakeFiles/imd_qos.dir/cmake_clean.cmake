@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imd_qos.dir/imd_qos.cpp.o"
+  "CMakeFiles/imd_qos.dir/imd_qos.cpp.o.d"
+  "imd_qos"
+  "imd_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imd_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/md_kernels.cpp" "bench/CMakeFiles/md_kernels.dir/md_kernels.cpp.o" "gcc" "bench/CMakeFiles/md_kernels.dir/md_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fe/CMakeFiles/spice_fe.dir/DependInfo.cmake"
+  "/root/repo/build/src/smd/CMakeFiles/spice_smd.dir/DependInfo.cmake"
+  "/root/repo/build/src/pore/CMakeFiles/spice_pore.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/spice_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

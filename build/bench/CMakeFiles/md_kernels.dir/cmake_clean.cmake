@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_kernels.dir/md_kernels.cpp.o"
+  "CMakeFiles/md_kernels.dir/md_kernels.cpp.o.d"
+  "md_kernels"
+  "md_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanopore_events.dir/nanopore_events.cpp.o"
+  "CMakeFiles/nanopore_events.dir/nanopore_events.cpp.o.d"
+  "nanopore_events"
+  "nanopore_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanopore_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ti_extension.dir/ti_extension.cpp.o"
+  "CMakeFiles/ti_extension.dir/ti_extension.cpp.o.d"
+  "ti_extension"
+  "ti_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ti_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

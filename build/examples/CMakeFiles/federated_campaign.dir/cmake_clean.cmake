@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_campaign.dir/federated_campaign.cpp.o"
+  "CMakeFiles/federated_campaign.dir/federated_campaign.cpp.o.d"
+  "federated_campaign"
+  "federated_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanopore_trace.dir/nanopore_trace.cpp.o"
+  "CMakeFiles/nanopore_trace.dir/nanopore_trace.cpp.o.d"
+  "nanopore_trace"
+  "nanopore_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanopore_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

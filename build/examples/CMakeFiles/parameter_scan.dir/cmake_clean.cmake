@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_scan.dir/parameter_scan.cpp.o"
+  "CMakeFiles/parameter_scan.dir/parameter_scan.cpp.o.d"
+  "parameter_scan"
+  "parameter_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

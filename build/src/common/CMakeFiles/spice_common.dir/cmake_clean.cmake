@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_common.dir/log.cpp.o"
+  "CMakeFiles/spice_common.dir/log.cpp.o.d"
+  "CMakeFiles/spice_common.dir/rng.cpp.o"
+  "CMakeFiles/spice_common.dir/rng.cpp.o.d"
+  "CMakeFiles/spice_common.dir/serialize.cpp.o"
+  "CMakeFiles/spice_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/spice_common.dir/statistics.cpp.o"
+  "CMakeFiles/spice_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/spice_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/spice_common.dir/thread_pool.cpp.o.d"
+  "libspice_common.a"
+  "libspice_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fe/bar.cpp" "src/fe/CMakeFiles/spice_fe.dir/bar.cpp.o" "gcc" "src/fe/CMakeFiles/spice_fe.dir/bar.cpp.o.d"
+  "/root/repo/src/fe/error_analysis.cpp" "src/fe/CMakeFiles/spice_fe.dir/error_analysis.cpp.o" "gcc" "src/fe/CMakeFiles/spice_fe.dir/error_analysis.cpp.o.d"
+  "/root/repo/src/fe/jarzynski.cpp" "src/fe/CMakeFiles/spice_fe.dir/jarzynski.cpp.o" "gcc" "src/fe/CMakeFiles/spice_fe.dir/jarzynski.cpp.o.d"
+  "/root/repo/src/fe/pmf.cpp" "src/fe/CMakeFiles/spice_fe.dir/pmf.cpp.o" "gcc" "src/fe/CMakeFiles/spice_fe.dir/pmf.cpp.o.d"
+  "/root/repo/src/fe/ti.cpp" "src/fe/CMakeFiles/spice_fe.dir/ti.cpp.o" "gcc" "src/fe/CMakeFiles/spice_fe.dir/ti.cpp.o.d"
+  "/root/repo/src/fe/wham.cpp" "src/fe/CMakeFiles/spice_fe.dir/wham.cpp.o" "gcc" "src/fe/CMakeFiles/spice_fe.dir/wham.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smd/CMakeFiles/spice_smd.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/spice_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

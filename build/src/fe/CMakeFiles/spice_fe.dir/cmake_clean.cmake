@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_fe.dir/bar.cpp.o"
+  "CMakeFiles/spice_fe.dir/bar.cpp.o.d"
+  "CMakeFiles/spice_fe.dir/error_analysis.cpp.o"
+  "CMakeFiles/spice_fe.dir/error_analysis.cpp.o.d"
+  "CMakeFiles/spice_fe.dir/jarzynski.cpp.o"
+  "CMakeFiles/spice_fe.dir/jarzynski.cpp.o.d"
+  "CMakeFiles/spice_fe.dir/pmf.cpp.o"
+  "CMakeFiles/spice_fe.dir/pmf.cpp.o.d"
+  "CMakeFiles/spice_fe.dir/ti.cpp.o"
+  "CMakeFiles/spice_fe.dir/ti.cpp.o.d"
+  "CMakeFiles/spice_fe.dir/wham.cpp.o"
+  "CMakeFiles/spice_fe.dir/wham.cpp.o.d"
+  "libspice_fe.a"
+  "libspice_fe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

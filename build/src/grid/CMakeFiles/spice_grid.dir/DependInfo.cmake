@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/coordination.cpp" "src/grid/CMakeFiles/spice_grid.dir/coordination.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/coordination.cpp.o.d"
+  "/root/repo/src/grid/coscheduling.cpp" "src/grid/CMakeFiles/spice_grid.dir/coscheduling.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/coscheduling.cpp.o.d"
+  "/root/repo/src/grid/des.cpp" "src/grid/CMakeFiles/spice_grid.dir/des.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/des.cpp.o.d"
+  "/root/repo/src/grid/federation.cpp" "src/grid/CMakeFiles/spice_grid.dir/federation.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/federation.cpp.o.d"
+  "/root/repo/src/grid/metrics.cpp" "src/grid/CMakeFiles/spice_grid.dir/metrics.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/metrics.cpp.o.d"
+  "/root/repo/src/grid/site.cpp" "src/grid/CMakeFiles/spice_grid.dir/site.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/site.cpp.o.d"
+  "/root/repo/src/grid/workflow.cpp" "src/grid/CMakeFiles/spice_grid.dir/workflow.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/workflow.cpp.o.d"
+  "/root/repo/src/grid/workload.cpp" "src/grid/CMakeFiles/spice_grid.dir/workload.cpp.o" "gcc" "src/grid/CMakeFiles/spice_grid.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_grid.dir/coordination.cpp.o"
+  "CMakeFiles/spice_grid.dir/coordination.cpp.o.d"
+  "CMakeFiles/spice_grid.dir/coscheduling.cpp.o"
+  "CMakeFiles/spice_grid.dir/coscheduling.cpp.o.d"
+  "CMakeFiles/spice_grid.dir/des.cpp.o"
+  "CMakeFiles/spice_grid.dir/des.cpp.o.d"
+  "CMakeFiles/spice_grid.dir/federation.cpp.o"
+  "CMakeFiles/spice_grid.dir/federation.cpp.o.d"
+  "CMakeFiles/spice_grid.dir/metrics.cpp.o"
+  "CMakeFiles/spice_grid.dir/metrics.cpp.o.d"
+  "CMakeFiles/spice_grid.dir/site.cpp.o"
+  "CMakeFiles/spice_grid.dir/site.cpp.o.d"
+  "CMakeFiles/spice_grid.dir/workflow.cpp.o"
+  "CMakeFiles/spice_grid.dir/workflow.cpp.o.d"
+  "CMakeFiles/spice_grid.dir/workload.cpp.o"
+  "CMakeFiles/spice_grid.dir/workload.cpp.o.d"
+  "libspice_grid.a"
+  "libspice_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/engine.cpp" "src/md/CMakeFiles/spice_md.dir/engine.cpp.o" "gcc" "src/md/CMakeFiles/spice_md.dir/engine.cpp.o.d"
+  "/root/repo/src/md/force_contribution.cpp" "src/md/CMakeFiles/spice_md.dir/force_contribution.cpp.o" "gcc" "src/md/CMakeFiles/spice_md.dir/force_contribution.cpp.o.d"
+  "/root/repo/src/md/forcefield.cpp" "src/md/CMakeFiles/spice_md.dir/forcefield.cpp.o" "gcc" "src/md/CMakeFiles/spice_md.dir/forcefield.cpp.o.d"
+  "/root/repo/src/md/neighbor_list.cpp" "src/md/CMakeFiles/spice_md.dir/neighbor_list.cpp.o" "gcc" "src/md/CMakeFiles/spice_md.dir/neighbor_list.cpp.o.d"
+  "/root/repo/src/md/observables.cpp" "src/md/CMakeFiles/spice_md.dir/observables.cpp.o" "gcc" "src/md/CMakeFiles/spice_md.dir/observables.cpp.o.d"
+  "/root/repo/src/md/topology.cpp" "src/md/CMakeFiles/spice_md.dir/topology.cpp.o" "gcc" "src/md/CMakeFiles/spice_md.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

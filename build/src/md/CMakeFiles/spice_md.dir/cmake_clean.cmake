@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_md.dir/engine.cpp.o"
+  "CMakeFiles/spice_md.dir/engine.cpp.o.d"
+  "CMakeFiles/spice_md.dir/force_contribution.cpp.o"
+  "CMakeFiles/spice_md.dir/force_contribution.cpp.o.d"
+  "CMakeFiles/spice_md.dir/forcefield.cpp.o"
+  "CMakeFiles/spice_md.dir/forcefield.cpp.o.d"
+  "CMakeFiles/spice_md.dir/neighbor_list.cpp.o"
+  "CMakeFiles/spice_md.dir/neighbor_list.cpp.o.d"
+  "CMakeFiles/spice_md.dir/observables.cpp.o"
+  "CMakeFiles/spice_md.dir/observables.cpp.o.d"
+  "CMakeFiles/spice_md.dir/topology.cpp.o"
+  "CMakeFiles/spice_md.dir/topology.cpp.o.d"
+  "libspice_md.a"
+  "libspice_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_net.dir/mpi.cpp.o"
+  "CMakeFiles/spice_net.dir/mpi.cpp.o.d"
+  "CMakeFiles/spice_net.dir/network.cpp.o"
+  "CMakeFiles/spice_net.dir/network.cpp.o.d"
+  "CMakeFiles/spice_net.dir/qos.cpp.o"
+  "CMakeFiles/spice_net.dir/qos.cpp.o.d"
+  "libspice_net.a"
+  "libspice_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

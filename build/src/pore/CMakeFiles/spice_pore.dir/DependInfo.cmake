@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pore/current.cpp" "src/pore/CMakeFiles/spice_pore.dir/current.cpp.o" "gcc" "src/pore/CMakeFiles/spice_pore.dir/current.cpp.o.d"
+  "/root/repo/src/pore/dna.cpp" "src/pore/CMakeFiles/spice_pore.dir/dna.cpp.o" "gcc" "src/pore/CMakeFiles/spice_pore.dir/dna.cpp.o.d"
+  "/root/repo/src/pore/pore_potential.cpp" "src/pore/CMakeFiles/spice_pore.dir/pore_potential.cpp.o" "gcc" "src/pore/CMakeFiles/spice_pore.dir/pore_potential.cpp.o.d"
+  "/root/repo/src/pore/profile.cpp" "src/pore/CMakeFiles/spice_pore.dir/profile.cpp.o" "gcc" "src/pore/CMakeFiles/spice_pore.dir/profile.cpp.o.d"
+  "/root/repo/src/pore/system.cpp" "src/pore/CMakeFiles/spice_pore.dir/system.cpp.o" "gcc" "src/pore/CMakeFiles/spice_pore.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/spice_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_pore.dir/current.cpp.o"
+  "CMakeFiles/spice_pore.dir/current.cpp.o.d"
+  "CMakeFiles/spice_pore.dir/dna.cpp.o"
+  "CMakeFiles/spice_pore.dir/dna.cpp.o.d"
+  "CMakeFiles/spice_pore.dir/pore_potential.cpp.o"
+  "CMakeFiles/spice_pore.dir/pore_potential.cpp.o.d"
+  "CMakeFiles/spice_pore.dir/profile.cpp.o"
+  "CMakeFiles/spice_pore.dir/profile.cpp.o.d"
+  "CMakeFiles/spice_pore.dir/system.cpp.o"
+  "CMakeFiles/spice_pore.dir/system.cpp.o.d"
+  "libspice_pore.a"
+  "libspice_pore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_pore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

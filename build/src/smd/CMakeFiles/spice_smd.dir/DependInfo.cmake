@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smd/position_restraint.cpp" "src/smd/CMakeFiles/spice_smd.dir/position_restraint.cpp.o" "gcc" "src/smd/CMakeFiles/spice_smd.dir/position_restraint.cpp.o.d"
+  "/root/repo/src/smd/pulling.cpp" "src/smd/CMakeFiles/spice_smd.dir/pulling.cpp.o" "gcc" "src/smd/CMakeFiles/spice_smd.dir/pulling.cpp.o.d"
+  "/root/repo/src/smd/restraint.cpp" "src/smd/CMakeFiles/spice_smd.dir/restraint.cpp.o" "gcc" "src/smd/CMakeFiles/spice_smd.dir/restraint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/spice_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_smd.dir/position_restraint.cpp.o"
+  "CMakeFiles/spice_smd.dir/position_restraint.cpp.o.d"
+  "CMakeFiles/spice_smd.dir/pulling.cpp.o"
+  "CMakeFiles/spice_smd.dir/pulling.cpp.o.d"
+  "CMakeFiles/spice_smd.dir/restraint.cpp.o"
+  "CMakeFiles/spice_smd.dir/restraint.cpp.o.d"
+  "libspice_smd.a"
+  "libspice_smd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_smd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_core.dir/campaign.cpp.o"
+  "CMakeFiles/spice_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/spice_core.dir/cost_model.cpp.o"
+  "CMakeFiles/spice_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/spice_core.dir/interactive_session.cpp.o"
+  "CMakeFiles/spice_core.dir/interactive_session.cpp.o.d"
+  "CMakeFiles/spice_core.dir/optimizer.cpp.o"
+  "CMakeFiles/spice_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/spice_core.dir/pipeline.cpp.o"
+  "CMakeFiles/spice_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/spice_core.dir/production.cpp.o"
+  "CMakeFiles/spice_core.dir/production.cpp.o.d"
+  "CMakeFiles/spice_core.dir/report.cpp.o"
+  "CMakeFiles/spice_core.dir/report.cpp.o.d"
+  "libspice_core.a"
+  "libspice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

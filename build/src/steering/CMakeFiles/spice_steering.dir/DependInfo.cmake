@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steering/haptic.cpp" "src/steering/CMakeFiles/spice_steering.dir/haptic.cpp.o" "gcc" "src/steering/CMakeFiles/spice_steering.dir/haptic.cpp.o.d"
+  "/root/repo/src/steering/imd.cpp" "src/steering/CMakeFiles/spice_steering.dir/imd.cpp.o" "gcc" "src/steering/CMakeFiles/spice_steering.dir/imd.cpp.o.d"
+  "/root/repo/src/steering/messages.cpp" "src/steering/CMakeFiles/spice_steering.dir/messages.cpp.o" "gcc" "src/steering/CMakeFiles/spice_steering.dir/messages.cpp.o.d"
+  "/root/repo/src/steering/registry.cpp" "src/steering/CMakeFiles/spice_steering.dir/registry.cpp.o" "gcc" "src/steering/CMakeFiles/spice_steering.dir/registry.cpp.o.d"
+  "/root/repo/src/steering/session_log.cpp" "src/steering/CMakeFiles/spice_steering.dir/session_log.cpp.o" "gcc" "src/steering/CMakeFiles/spice_steering.dir/session_log.cpp.o.d"
+  "/root/repo/src/steering/steerable.cpp" "src/steering/CMakeFiles/spice_steering.dir/steerable.cpp.o" "gcc" "src/steering/CMakeFiles/spice_steering.dir/steerable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/spice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smd/CMakeFiles/spice_smd.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/spice_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

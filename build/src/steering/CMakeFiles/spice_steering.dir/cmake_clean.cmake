@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_steering.dir/haptic.cpp.o"
+  "CMakeFiles/spice_steering.dir/haptic.cpp.o.d"
+  "CMakeFiles/spice_steering.dir/imd.cpp.o"
+  "CMakeFiles/spice_steering.dir/imd.cpp.o.d"
+  "CMakeFiles/spice_steering.dir/messages.cpp.o"
+  "CMakeFiles/spice_steering.dir/messages.cpp.o.d"
+  "CMakeFiles/spice_steering.dir/registry.cpp.o"
+  "CMakeFiles/spice_steering.dir/registry.cpp.o.d"
+  "CMakeFiles/spice_steering.dir/session_log.cpp.o"
+  "CMakeFiles/spice_steering.dir/session_log.cpp.o.d"
+  "CMakeFiles/spice_steering.dir/steerable.cpp.o"
+  "CMakeFiles/spice_steering.dir/steerable.cpp.o.d"
+  "libspice_steering.a"
+  "libspice_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspice_steering.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii_render.cpp" "src/viz/CMakeFiles/spice_viz.dir/ascii_render.cpp.o" "gcc" "src/viz/CMakeFiles/spice_viz.dir/ascii_render.cpp.o.d"
+  "/root/repo/src/viz/ppm.cpp" "src/viz/CMakeFiles/spice_viz.dir/ppm.cpp.o" "gcc" "src/viz/CMakeFiles/spice_viz.dir/ppm.cpp.o.d"
+  "/root/repo/src/viz/series_writer.cpp" "src/viz/CMakeFiles/spice_viz.dir/series_writer.cpp.o" "gcc" "src/viz/CMakeFiles/spice_viz.dir/series_writer.cpp.o.d"
+  "/root/repo/src/viz/xyz_writer.cpp" "src/viz/CMakeFiles/spice_viz.dir/xyz_writer.cpp.o" "gcc" "src/viz/CMakeFiles/spice_viz.dir/xyz_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pore/CMakeFiles/spice_pore.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/spice_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_viz.dir/ascii_render.cpp.o"
+  "CMakeFiles/spice_viz.dir/ascii_render.cpp.o.d"
+  "CMakeFiles/spice_viz.dir/ppm.cpp.o"
+  "CMakeFiles/spice_viz.dir/ppm.cpp.o.d"
+  "CMakeFiles/spice_viz.dir/series_writer.cpp.o"
+  "CMakeFiles/spice_viz.dir/series_writer.cpp.o.d"
+  "CMakeFiles/spice_viz.dir/xyz_writer.cpp.o"
+  "CMakeFiles/spice_viz.dir/xyz_writer.cpp.o.d"
+  "libspice_viz.a"
+  "libspice_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

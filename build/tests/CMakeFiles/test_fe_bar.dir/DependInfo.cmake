@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fe_bar.cpp" "tests/CMakeFiles/test_fe_bar.dir/test_fe_bar.cpp.o" "gcc" "tests/CMakeFiles/test_fe_bar.dir/test_fe_bar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/spice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/steering/CMakeFiles/spice_steering.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/spice_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/spice_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/fe/CMakeFiles/spice_fe.dir/DependInfo.cmake"
+  "/root/repo/build/src/smd/CMakeFiles/spice_smd.dir/DependInfo.cmake"
+  "/root/repo/build/src/pore/CMakeFiles/spice_pore.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/spice_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

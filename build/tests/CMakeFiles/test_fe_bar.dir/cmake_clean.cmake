@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fe_bar.dir/test_fe_bar.cpp.o"
+  "CMakeFiles/test_fe_bar.dir/test_fe_bar.cpp.o.d"
+  "test_fe_bar"
+  "test_fe_bar.pdb"
+  "test_fe_bar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fe_bar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fe_jarzynski.dir/test_fe_jarzynski.cpp.o"
+  "CMakeFiles/test_fe_jarzynski.dir/test_fe_jarzynski.cpp.o.d"
+  "test_fe_jarzynski"
+  "test_fe_jarzynski.pdb"
+  "test_fe_jarzynski[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fe_jarzynski.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pore.dir/test_pore.cpp.o"
+  "CMakeFiles/test_pore.dir/test_pore.cpp.o.d"
+  "test_pore"
+  "test_pore.pdb"
+  "test_pore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

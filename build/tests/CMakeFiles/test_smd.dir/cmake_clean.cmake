@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smd.dir/test_smd.cpp.o"
+  "CMakeFiles/test_smd.dir/test_smd.cpp.o.d"
+  "test_smd"
+  "test_smd.pdb"
+  "test_smd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

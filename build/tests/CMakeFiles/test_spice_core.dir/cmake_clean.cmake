@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_core.dir/test_spice_core.cpp.o"
+  "CMakeFiles/test_spice_core.dir/test_spice_core.cpp.o.d"
+  "test_spice_core"
+  "test_spice_core.pdb"
+  "test_spice_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

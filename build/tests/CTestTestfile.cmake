@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_md_forces[1]_include.cmake")
+include("/root/repo/build/tests/test_md_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_pore[1]_include.cmake")
+include("/root/repo/build/tests/test_smd[1]_include.cmake")
+include("/root/repo/build/tests/test_fe_jarzynski[1]_include.cmake")
+include("/root/repo/build/tests/test_fe_reference[1]_include.cmake")
+include("/root/repo/build/tests/test_fe_bar[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_steering[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_core[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
