@@ -94,6 +94,49 @@ void BM_SmdPullStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SmdPullStep);
 
+/// Dense charged chain for the force-path comparison: the bonded terms run
+/// the chain, the random packing gives each bead tens of nonbonded
+/// neighbours (the dominant per-step cost, as in the translocation system).
+Engine make_force_eval_engine(std::size_t beads, ForcePath path, std::size_t threads) {
+  Topology topo;
+  for (std::size_t i = 0; i < beads; ++i) {
+    topo.add_particle({.mass = 300.0, .charge = -1.0, .radius = 4.0, .name = "NT"});
+  }
+  for (ParticleIndex i = 0; i + 1 < beads; ++i) topo.add_bond({i, i + 1, 10.0, 7.0});
+  for (ParticleIndex i = 0; i + 2 < beads; ++i) topo.add_angle({i, i + 1, i + 2, 5.0, 3.14159});
+  for (ParticleIndex i = 0; i + 3 < beads; ++i) {
+    topo.add_dihedral({i, i + 1, i + 2, i + 3, 0.5, 1, 0.0});
+  }
+  MdConfig cfg;
+  cfg.threads = threads;
+  cfg.force_path = path;
+  Engine engine(std::move(topo), NonbondedParams{}, cfg);
+  engine.set_positions(random_positions(beads, 35.0, 11));
+  return engine;
+}
+
+/// Steady-state force-evaluation cost (no rebuilds): kernels vs the legacy
+/// pair-list path, across thread counts. arg0: 0 = legacy, 1 = kernels;
+/// arg1: threads.
+void BM_ForceEval(benchmark::State& state) {
+  const ForcePath path = state.range(0) == 0 ? ForcePath::LegacyPairList : ForcePath::Kernels;
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  Engine engine = make_force_eval_engine(600, path, threads);
+  engine.compute_energies();  // warm up: neighbour build + segment refresh
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute_energies().total());
+  }
+  state.SetItemsProcessed(state.iterations() * 600);
+}
+BENCHMARK(BM_ForceEval)
+    ->ArgNames({"kernels", "threads"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 8})
+    ->Args({1, 8});
+
 void BM_JarzynskiEstimate(benchmark::State& state) {
   const auto trajectories = static_cast<std::size_t>(state.range(0));
   Rng rng(7);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -15,8 +16,8 @@ namespace {
 constexpr double kMv2ToKcalMol = 0.0023900574;
 /// Å/ps² per (kcal/mol/Å)/amu: converts F/m to acceleration.
 constexpr double kForceOverMassToAcc = 1.0 / kMv2ToKcalMol;
-/// Fixed slice count for the nonbonded reduction — independent of thread
-/// count so the summation order (and thus the trajectory) never changes.
+/// Fixed slice count for the force pipeline — independent of thread count
+/// so the summation order (and thus the trajectory) never changes.
 constexpr std::size_t kForceSlices = 16;
 
 constexpr std::uint32_t kCheckpointMagic = 0x53504943;  // "SPIC"
@@ -30,13 +31,19 @@ Engine::Engine(Topology topology, NonbondedParams nonbonded, MdConfig config)
   SPICE_REQUIRE(config_.friction > 0.0, "Langevin friction must be positive");
   const std::size_t n = topology_.particle_count();
   SPICE_REQUIRE(n > 0, "engine needs at least one particle");
-  positions_.resize(n);
-  velocities_.resize(n);
-  forces_.resize(n);
-  inv_mass_.reserve(n);
-  for (const auto& p : topology_.particles()) inv_mass_.push_back(1.0 / p.mass);
+  // Exclusions must be sorted before kernels query them from parallel
+  // slices (Topology::finalize documents the contract).
+  topology_.finalize();
+  state_.reset(topology_);
   neighbor_list_ = std::make_unique<NeighborList>(nonbonded_.cutoff, config_.neighbor_skin);
+  // The kernel path consumes the cell grid directly; the materialized pair
+  // list is only needed by the legacy/validation path.
+  neighbor_list_->set_keep_pairs(config_.force_path == ForcePath::LegacyPairList);
   if (config_.threads > 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  kernels_.push_back(std::make_unique<BondKernel>());
+  kernels_.push_back(std::make_unique<AngleKernel>());
+  kernels_.push_back(std::make_unique<DihedralKernel>());
+  kernels_.push_back(std::make_unique<NonbondedKernel>());
   slice_forces_.resize(kForceSlices);
   slice_energy_.resize(kForceSlices);
 }
@@ -46,25 +53,28 @@ Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
 
 void Engine::set_positions(std::span<const Vec3> xs) {
-  SPICE_REQUIRE(xs.size() == positions_.size(), "position count mismatch");
-  positions_.assign(xs.begin(), xs.end());
+  SPICE_REQUIRE(xs.size() == state_.size(), "position count mismatch");
+  state_.set_positions(xs);
   forces_current_ = false;
 }
 
 void Engine::set_velocities(std::span<const Vec3> vs) {
-  SPICE_REQUIRE(vs.size() == velocities_.size(), "velocity count mismatch");
-  velocities_.assign(vs.begin(), vs.end());
+  SPICE_REQUIRE(vs.size() == state_.size(), "velocity count mismatch");
+  state_.set_velocities(vs);
 }
 
 void Engine::initialize_velocities(double temperature_k) {
   SPICE_REQUIRE(temperature_k >= 0.0, "temperature must be non-negative");
-  const auto& particles = topology_.particles();
-  for (std::size_t i = 0; i < velocities_.size(); ++i) {
+  const auto mass = state_.mass();
+  auto vx = state_.vx();
+  auto vy = state_.vy();
+  auto vz = state_.vz();
+  for (std::size_t i = 0; i < state_.size(); ++i) {
     Rng rng = Rng::stream(config_.seed, 0x76656c /*"vel"*/, i);
-    const double sigma =
-        std::sqrt(units::kB * temperature_k / (particles[i].mass * kMv2ToKcalMol));
-    velocities_[i] = {rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma),
-                      rng.gaussian(0.0, sigma)};
+    const double sigma = std::sqrt(units::kB * temperature_k / (mass[i] * kMv2ToKcalMol));
+    vx[i] = rng.gaussian(0.0, sigma);
+    vy[i] = rng.gaussian(0.0, sigma);
+    vz[i] = rng.gaussian(0.0, sigma);
   }
 }
 
@@ -81,8 +91,67 @@ void Engine::remove_contribution(const ForceContribution* contribution) {
   forces_current_ = false;
 }
 
-double Engine::evaluate_nonbonded(std::span<Vec3> forces) {
-  neighbor_list_->maybe_rebuild(positions_, topology_);
+void Engine::evaluate_forces_kernels() {
+  // Serial phase: sync the AoS position view once (kernels and
+  // contributions read it concurrently afterwards), refresh the neighbour
+  // list, run per-kernel and per-contribution serial hooks.
+  const auto xs = state_.positions();
+  neighbor_list_->maybe_rebuild(xs, topology_);
+
+  const KernelContext ctx{&state_,  &topology_, &nonbonded_,
+                          neighbor_list_.get(), time_,       kForceSlices};
+  for (const auto& k : kernels_) k->begin_evaluation(ctx);
+
+  const std::size_t n = state_.size();
+  workspace_.configure(n, kForceSlices, contributions_.size());
+  external_base_.assign(contributions_.size(), 0.0);
+  for (std::size_t c = 0; c < contributions_.size(); ++c) {
+    external_base_[c] = contributions_[c]->begin_evaluation(xs, topology_, time_);
+  }
+
+  // Parallel phase: fixed slice count regardless of thread count.
+  auto run_slices = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      ForceAccumulator& acc = workspace_.acquire_slice(s);
+      for (const auto& k : kernels_) {
+        workspace_.energy(s, k->term()) += k->evaluate_slice(ctx, s, kForceSlices, acc);
+      }
+      if (!contributions_.empty()) {
+        const std::size_t lo = n * s / kForceSlices;
+        const std::size_t hi = n * (s + 1) / kForceSlices;
+        acc.note_range(lo, hi);
+        for (std::size_t c = 0; c < contributions_.size(); ++c) {
+          workspace_.external_energy(s, c) +=
+              contributions_[c]->accumulate_range(xs, topology_, time_, lo, hi, acc.span());
+        }
+      }
+    }
+  };
+  if (pool_) {
+    pool_->parallel_for(kForceSlices, run_slices);
+  } else {
+    run_slices(0, kForceSlices);
+  }
+
+  // Deterministic reduction: ascending slice order per particle / term.
+  workspace_.reduce_forces(state_.fx(), state_.fy(), state_.fz(), pool_.get());
+
+  energies_ = EnergyBreakdown{};
+  energies_.bond = workspace_.reduced_energy(EnergyTerm::Bond);
+  energies_.angle = workspace_.reduced_energy(EnergyTerm::Angle);
+  energies_.dihedral = workspace_.reduced_energy(EnergyTerm::Dihedral);
+  energies_.nonbonded = workspace_.reduced_energy(EnergyTerm::Nonbonded);
+  energies_.external_terms.reserve(contributions_.size());
+  for (std::size_t c = 0; c < contributions_.size(); ++c) {
+    const double e = external_base_[c] + workspace_.reduced_external(c);
+    energies_.external += e;
+    energies_.external_terms.push_back({contributions_[c]->name(), e});
+  }
+}
+
+double Engine::evaluate_nonbonded_legacy(std::span<Vec3> forces) {
+  const auto xs = state_.positions();
+  neighbor_list_->maybe_rebuild(xs, topology_);
   const auto& pairs = neighbor_list_->pairs();
   const auto& particles = topology_.particles();
   if (pairs.empty()) return 0.0;
@@ -102,7 +171,7 @@ double Engine::evaluate_nonbonded(std::span<Vec3> forces) {
       for (std::size_t p = lo; p < hi; ++p) {
         const auto [i, j] = pairs[p];
         const double sigma = particles[i].radius + particles[j].radius;
-        const EnergyForce ef = nonbonded_pair(positions_[i], positions_[j], particles[i].charge,
+        const EnergyForce ef = nonbonded_pair(xs[i], xs[j], particles[i].charge,
                                               particles[j].charge, sigma, nonbonded_);
         energy += ef.energy;
         local[i] += ef.force_on_i;
@@ -128,43 +197,57 @@ double Engine::evaluate_nonbonded(std::span<Vec3> forces) {
   return energy;
 }
 
-void Engine::evaluate_all_forces() {
-  std::fill(forces_.begin(), forces_.end(), Vec3{});
+void Engine::evaluate_forces_legacy() {
+  const auto xs = state_.positions();
+  legacy_forces_.assign(state_.size(), Vec3{});
   energies_ = EnergyBreakdown{};
 
   for (const auto& b : topology_.bonds()) {
-    const EnergyForce ef = harmonic_bond(positions_[b.i], positions_[b.j], b.k, b.r0);
+    const EnergyForce ef = harmonic_bond(xs[b.i], xs[b.j], b.k, b.r0);
     energies_.bond += ef.energy;
-    forces_[b.i] += ef.force_on_i;
-    forces_[b.j] -= ef.force_on_i;
+    legacy_forces_[b.i] += ef.force_on_i;
+    legacy_forces_[b.j] -= ef.force_on_i;
   }
   for (const auto& a : topology_.angles()) {
     Vec3 fi;
     Vec3 fj;
     Vec3 fk;
     energies_.angle +=
-        harmonic_angle(positions_[a.i], positions_[a.j], positions_[a.k], a.k_theta, a.theta0,
-                       fi, fj, fk);
-    forces_[a.i] += fi;
-    forces_[a.j] += fj;
-    forces_[a.k] += fk;
+        harmonic_angle(xs[a.i], xs[a.j], xs[a.k], a.k_theta, a.theta0, fi, fj, fk);
+    legacy_forces_[a.i] += fi;
+    legacy_forces_[a.j] += fj;
+    legacy_forces_[a.k] += fk;
   }
   for (const auto& d : topology_.dihedrals()) {
     Vec3 fi;
     Vec3 fj;
     Vec3 fk;
     Vec3 fl;
-    energies_.dihedral +=
-        periodic_dihedral(positions_[d.i], positions_[d.j], positions_[d.k], positions_[d.l],
-                          d.k_phi, d.multiplicity, d.delta, fi, fj, fk, fl);
-    forces_[d.i] += fi;
-    forces_[d.j] += fj;
-    forces_[d.k] += fk;
-    forces_[d.l] += fl;
+    energies_.dihedral += periodic_dihedral(xs[d.i], xs[d.j], xs[d.k], xs[d.l], d.k_phi,
+                                            d.multiplicity, d.delta, fi, fj, fk, fl);
+    legacy_forces_[d.i] += fi;
+    legacy_forces_[d.j] += fj;
+    legacy_forces_[d.k] += fk;
+    legacy_forces_[d.l] += fl;
   }
-  energies_.nonbonded = evaluate_nonbonded(forces_);
+  energies_.nonbonded = evaluate_nonbonded_legacy(legacy_forces_);
+  energies_.external_terms.reserve(contributions_.size());
   for (const auto& c : contributions_) {
-    energies_.external += c->add_forces(positions_, topology_, time_, forces_);
+    const double e = c->add_forces(xs, topology_, time_, legacy_forces_);
+    energies_.external += e;
+    energies_.external_terms.push_back({c->name(), e});
+  }
+  state_.set_forces(legacy_forces_);
+}
+
+void Engine::evaluate_all_forces() {
+  switch (config_.force_path) {
+    case ForcePath::Kernels:
+      evaluate_forces_kernels();
+      break;
+    case ForcePath::LegacyPairList:
+      evaluate_forces_legacy();
+      break;
   }
   forces_current_ = true;
 }
@@ -179,16 +262,19 @@ const EnergyBreakdown& Engine::compute_energies() {
 }
 
 double Engine::kinetic_energy() const {
-  const auto& particles = topology_.particles();
+  const auto mass = state_.mass();
+  const auto vx = state_.vx();
+  const auto vy = state_.vy();
+  const auto vz = state_.vz();
   double mv2 = 0.0;
-  for (std::size_t i = 0; i < velocities_.size(); ++i) {
-    mv2 += particles[i].mass * velocities_[i].norm2();
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    mv2 += mass[i] * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
   }
   return 0.5 * mv2 * kMv2ToKcalMol;
 }
 
 double Engine::instantaneous_temperature() const {
-  const auto dof = static_cast<double>(3 * velocities_.size());
+  const auto dof = static_cast<double>(3 * state_.size());
   return 2.0 * kinetic_energy() / (dof * units::kB);
 }
 
@@ -211,17 +297,45 @@ void Engine::step(std::size_t n) {
 void Engine::step_velocity_verlet() {
   ensure_forces_current();
   const double dt = config_.dt;
-  const std::size_t n = positions_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
-    positions_[i] += velocities_[i] * dt;
+  const std::size_t n = state_.size();
+  const auto inv_mass = state_.inv_mass();
+  {
+    auto x = state_.x();
+    auto y = state_.y();
+    auto z = state_.z();
+    auto vx = state_.vx();
+    auto vy = state_.vy();
+    auto vz = state_.vz();
+    const auto fx = std::as_const(state_).fx();
+    const auto fy = std::as_const(state_).fy();
+    const auto fz = std::as_const(state_).fz();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kick = 0.5 * dt * inv_mass[i] * kForceOverMassToAcc;
+      vx[i] += fx[i] * kick;
+      vy[i] += fy[i] * kick;
+      vz[i] += fz[i] * kick;
+      x[i] += vx[i] * dt;
+      y[i] += vy[i] * dt;
+      z[i] += vz[i] * dt;
+    }
   }
   // Forces for the closing half-kick belong to time t + dt (this matters
   // for time-dependent potentials such as the moving SMD anchor).
   time_ = static_cast<double>(step_count_ + 1) * dt;
   evaluate_all_forces();
-  for (std::size_t i = 0; i < n; ++i) {
-    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
+  {
+    auto vx = state_.vx();
+    auto vy = state_.vy();
+    auto vz = state_.vz();
+    const auto fx = std::as_const(state_).fx();
+    const auto fy = std::as_const(state_).fy();
+    const auto fz = std::as_const(state_).fz();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kick = 0.5 * dt * inv_mass[i] * kForceOverMassToAcc;
+      vx[i] += fx[i] * kick;
+      vy[i] += fy[i] * kick;
+      vz[i] += fz[i] * kick;
+    }
   }
 }
 
@@ -237,20 +351,53 @@ void Engine::step_langevin() {
   const double dt = config_.dt;
   const double c1 = std::exp(-config_.friction * dt);
   const double kbt = units::kB * config_.temperature;
-  const std::size_t n = positions_.size();
-  const auto& particles = topology_.particles();
+  const std::size_t n = state_.size();
+  const auto mass = state_.mass();
+  const auto inv_mass = state_.inv_mass();
 
-  for (std::size_t i = 0; i < n; ++i) {
-    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
-    positions_[i] += velocities_[i] * (0.5 * dt);
-    const double sigma = std::sqrt((1.0 - c1 * c1) * kbt / (particles[i].mass * kMv2ToKcalMol));
-    velocities_[i] = velocities_[i] * c1 + langevin_noise(i) * sigma;
-    positions_[i] += velocities_[i] * (0.5 * dt);
+  {
+    auto x = state_.x();
+    auto y = state_.y();
+    auto z = state_.z();
+    auto vx = state_.vx();
+    auto vy = state_.vy();
+    auto vz = state_.vz();
+    const auto fx = std::as_const(state_).fx();
+    const auto fy = std::as_const(state_).fy();
+    const auto fz = std::as_const(state_).fz();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kick = 0.5 * dt * inv_mass[i] * kForceOverMassToAcc;
+      vx[i] += fx[i] * kick;
+      vy[i] += fy[i] * kick;
+      vz[i] += fz[i] * kick;
+      x[i] += vx[i] * (0.5 * dt);
+      y[i] += vy[i] * (0.5 * dt);
+      z[i] += vz[i] * (0.5 * dt);
+      const double sigma = std::sqrt((1.0 - c1 * c1) * kbt / (mass[i] * kMv2ToKcalMol));
+      const Vec3 noise = langevin_noise(i);
+      vx[i] = vx[i] * c1 + noise.x * sigma;
+      vy[i] = vy[i] * c1 + noise.y * sigma;
+      vz[i] = vz[i] * c1 + noise.z * sigma;
+      x[i] += vx[i] * (0.5 * dt);
+      y[i] += vy[i] * (0.5 * dt);
+      z[i] += vz[i] * (0.5 * dt);
+    }
   }
   time_ = static_cast<double>(step_count_ + 1) * dt;
   evaluate_all_forces();
-  for (std::size_t i = 0; i < n; ++i) {
-    velocities_[i] += forces_[i] * (0.5 * dt * inv_mass_[i] * kForceOverMassToAcc);
+  {
+    auto vx = state_.vx();
+    auto vy = state_.vy();
+    auto vz = state_.vz();
+    const auto fx = std::as_const(state_).fx();
+    const auto fy = std::as_const(state_).fy();
+    const auto fz = std::as_const(state_).fz();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kick = 0.5 * dt * inv_mass[i] * kForceOverMassToAcc;
+      vx[i] += fx[i] * kick;
+      vy[i] += fy[i] * kick;
+      vz[i] += fz[i] * kick;
+    }
   }
 }
 
@@ -262,8 +409,8 @@ Checkpoint Engine::checkpoint() const {
   w.write_u64(step_count_);
   w.write_f64(time_);
   w.write_u64(config_.seed);
-  w.write_vec3_span(positions_);
-  w.write_vec3_span(velocities_);
+  w.write_vec3_span(state_.positions());
+  w.write_vec3_span(state_.velocities());
   return Checkpoint{w.take()};
 }
 
@@ -276,9 +423,11 @@ void Engine::restore(const Checkpoint& snapshot) {
   step_count_ = r.read_u64();
   time_ = r.read_f64();
   config_.seed = r.read_u64();
-  positions_ = r.read_vec3_vector();
-  velocities_ = r.read_vec3_vector();
-  SPICE_ENSURE(positions_.size() == n && velocities_.size() == n, "corrupt checkpoint");
+  const std::vector<Vec3> xs = r.read_vec3_vector();
+  const std::vector<Vec3> vs = r.read_vec3_vector();
+  SPICE_ENSURE(xs.size() == n && vs.size() == n, "corrupt checkpoint");
+  state_.set_positions(xs);
+  state_.set_velocities(vs);
   forces_current_ = false;
 }
 
@@ -286,8 +435,8 @@ Engine Engine::clone(std::uint64_t clone_seed) const {
   MdConfig cfg = config_;
   cfg.seed = clone_seed;
   Engine copy(topology_, nonbonded_, cfg);
-  copy.positions_ = positions_;
-  copy.velocities_ = velocities_;
+  copy.state_.set_positions(state_.positions());
+  copy.state_.set_velocities(state_.velocities());
   copy.time_ = time_;
   copy.step_count_ = step_count_;
   copy.contributions_ = contributions_;

@@ -8,10 +8,17 @@
 // IMD steering) and checkpoint/restore/clone — the RealityGrid features
 // the paper relies on for verification-and-validation runs.
 //
+// Dynamic state lives in a SystemState (structure-of-arrays; see
+// system_state.hpp) and forces are produced by ForceKernels running in the
+// staged slice pipeline of force_kernel.hpp. ForceContributions (the
+// external layer: pore potential, SMD springs, steering) ride the same
+// pipeline via disjoint particle ranges.
+//
 // Determinism contract: for a fixed seed and fixed build, trajectories are
-// bit-identical regardless of the number of threads. Nonbonded reduction
-// order is fixed (static slices), and the Langevin noise stream is keyed
-// by (seed, particle, step), not by thread.
+// bit-identical regardless of the number of threads. The slice count is
+// fixed (independent of thread count), slice partitions and reduction
+// order are pure functions of the system, and the Langevin noise stream is
+// keyed by (seed, particle, step), not by thread.
 
 #include <cstdint>
 #include <memory>
@@ -22,8 +29,10 @@
 #include "common/rng.hpp"
 #include "common/vec3.hpp"
 #include "md/force_contribution.hpp"
+#include "md/force_kernel.hpp"
 #include "md/forcefield.hpp"
 #include "md/neighbor_list.hpp"
+#include "md/system_state.hpp"
 #include "md/topology.hpp"
 
 namespace spice {
@@ -37,6 +46,16 @@ enum class IntegratorKind {
   Langevin,        ///< BAOAB; production thermostatted dynamics
 };
 
+/// Which force-evaluation implementation the engine runs.
+enum class ForcePath {
+  /// Staged ForceKernel pipeline over SoA state with per-slice cell-grid
+  /// pair segments — the production path.
+  Kernels,
+  /// The original serial-bonded + materialized-pair-list implementation,
+  /// kept as a validation oracle and benchmark baseline.
+  LegacyPairList,
+};
+
 struct MdConfig {
   double dt = 0.01;            ///< timestep, ps
   double temperature = 300.0;  ///< K (Langevin target)
@@ -45,6 +64,13 @@ struct MdConfig {
   std::uint64_t seed = 1;      ///< master seed for all stochastic terms
   std::size_t threads = 1;     ///< force-evaluation worker threads
   double neighbor_skin = 2.0;  ///< Verlet skin, Å
+  ForcePath force_path = ForcePath::Kernels;
+};
+
+/// One external contribution's share of the potential energy.
+struct ExternalEnergy {
+  std::string name;      ///< ForceContribution::name()
+  double energy = 0.0;   ///< kcal/mol
 };
 
 /// Per-term potential-energy breakdown from the last force evaluation.
@@ -54,6 +80,9 @@ struct EnergyBreakdown {
   double dihedral = 0.0;
   double nonbonded = 0.0;
   double external = 0.0;  ///< sum over ForceContributions
+  /// Per-contribution breakdown of `external`, in registration order
+  /// (e.g. pore vs SMD spring energies, distinguishable in reports).
+  std::vector<ExternalEnergy> external_terms;
   [[nodiscard]] double total() const {
     return bond + angle + dihedral + nonbonded + external;
   }
@@ -96,9 +125,11 @@ class Engine {
   // --- inspection ----------------------------------------------------------
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] const MdConfig& config() const { return config_; }
-  [[nodiscard]] std::span<const Vec3> positions() const { return positions_; }
-  [[nodiscard]] std::span<const Vec3> velocities() const { return velocities_; }
-  [[nodiscard]] std::span<const Vec3> forces() const { return forces_; }
+  [[nodiscard]] std::span<const Vec3> positions() const { return state_.positions(); }
+  [[nodiscard]] std::span<const Vec3> velocities() const { return state_.velocities(); }
+  [[nodiscard]] std::span<const Vec3> forces() const { return state_.forces(); }
+  /// Direct access to the SoA state (kernels, benchmarks, tests).
+  [[nodiscard]] const SystemState& state() const { return state_; }
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] std::uint64_t step_count() const { return step_count_; }
 
@@ -130,8 +161,10 @@ class Engine {
 
  private:
   void ensure_forces_current();
-  double evaluate_nonbonded(std::span<Vec3> forces);
   void evaluate_all_forces();
+  void evaluate_forces_kernels();
+  void evaluate_forces_legacy();
+  double evaluate_nonbonded_legacy(std::span<Vec3> forces);
   void step_velocity_verlet();
   void step_langevin();
   [[nodiscard]] Vec3 langevin_noise(std::size_t particle) const;
@@ -140,10 +173,7 @@ class Engine {
   NonbondedParams nonbonded_;
   MdConfig config_;
 
-  std::vector<Vec3> positions_;
-  std::vector<Vec3> velocities_;
-  std::vector<Vec3> forces_;
-  std::vector<double> inv_mass_;  ///< precomputed 1/m
+  SystemState state_;
   EnergyBreakdown energies_;
   bool forces_current_ = false;
 
@@ -153,7 +183,14 @@ class Engine {
   std::unique_ptr<NeighborList> neighbor_list_;
   std::vector<std::shared_ptr<ForceContribution>> contributions_;
   std::unique_ptr<ThreadPool> pool_;
-  // Per-slice scratch force buffers for deterministic parallel reduction.
+
+  // Kernel path.
+  std::vector<std::unique_ptr<ForceKernel>> kernels_;
+  ForceWorkspace workspace_;
+  std::vector<double> external_base_;  ///< per-contribution begin_evaluation energies
+
+  // Legacy path scratch.
+  std::vector<Vec3> legacy_forces_;
   std::vector<std::vector<Vec3>> slice_forces_;
   std::vector<double> slice_energy_;
 };

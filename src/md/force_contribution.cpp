@@ -5,13 +5,28 @@
 
 namespace spice::md {
 
-double PerParticlePotential::add_forces(std::span<const Vec3> positions,
-                                        const Topology& topology, double /*time*/,
-                                        std::span<Vec3> forces) {
+double ForceContribution::begin_evaluation(std::span<const Vec3> /*positions*/,
+                                           const Topology& /*topology*/, double /*time*/) {
+  return 0.0;
+}
+
+double ForceContribution::add_forces(std::span<const Vec3> positions, const Topology& topology,
+                                     double time, std::span<Vec3> forces) {
   SPICE_REQUIRE(positions.size() == forces.size(), "positions/forces size mismatch");
+  double energy = begin_evaluation(positions, topology, time);
+  energy += accumulate_range(positions, topology, time, 0, positions.size(), forces);
+  return energy;
+}
+
+double PerParticlePotential::accumulate_range(std::span<const Vec3> positions,
+                                              const Topology& topology, double /*time*/,
+                                              std::size_t begin, std::size_t end,
+                                              std::span<Vec3> forces) {
+  SPICE_REQUIRE(end <= positions.size() && positions.size() == forces.size(),
+                "range/positions/forces size mismatch");
   const auto& particles = topology.particles();
   double energy = 0.0;
-  for (std::size_t i = 0; i < positions.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     Vec3 f;
     energy += particle_energy_force(positions[i], particles[i].charge, f);
     forces[i] += f;

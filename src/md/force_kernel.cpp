@@ -1,0 +1,247 @@
+#include "md/force_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "md/system_state.hpp"
+#include "md/topology.hpp"
+
+namespace spice::md {
+
+namespace {
+/// Share [lo, hi) of `total` items assigned to slice s of S.
+struct Share {
+  std::size_t lo;
+  std::size_t hi;
+};
+Share share_of(std::size_t total, std::size_t slice, std::size_t slice_count) {
+  return {total * slice / slice_count, total * (slice + 1) / slice_count};
+}
+}  // namespace
+
+// --- ForceWorkspace ------------------------------------------------------
+
+void ForceWorkspace::configure(std::size_t particles, std::size_t slices,
+                               std::size_t external_terms) {
+  constexpr auto kTerms = static_cast<std::size_t>(EnergyTerm::kCount);
+  if (slices_.size() != slices || particles_ != particles) {
+    slices_.assign(slices, ForceAccumulator{});
+    for (auto& s : slices_) {
+      s.forces_.assign(particles, Vec3{});
+      s.lo_ = particles;
+      s.hi_ = 0;
+    }
+    particles_ = particles;
+  }
+  term_energy_.assign(slices * kTerms, 0.0);
+  external_terms_ = external_terms;
+  external_energy_.assign(slices * external_terms, 0.0);
+}
+
+ForceAccumulator& ForceWorkspace::acquire_slice(std::size_t s) {
+  ForceAccumulator& acc = slices_[s];
+  // Invariant: outside the touched window the buffer is already zero.
+  for (std::size_t i = acc.lo_; i < acc.hi_; ++i) acc.forces_[i] = Vec3{};
+  acc.lo_ = particles_;
+  acc.hi_ = 0;
+  constexpr auto kTerms = static_cast<std::size_t>(EnergyTerm::kCount);
+  std::fill_n(term_energy_.begin() + static_cast<std::ptrdiff_t>(s * kTerms), kTerms, 0.0);
+  std::fill_n(external_energy_.begin() + static_cast<std::ptrdiff_t>(s * external_terms_),
+              external_terms_, 0.0);
+  return acc;
+}
+
+void ForceWorkspace::reduce_forces(std::span<double> fx, std::span<double> fy,
+                                   std::span<double> fz, ThreadPool* pool) const {
+  auto reduce_range = [this, &fx, &fy, &fz](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Per-particle summation in ascending slice order: the order (and
+      // thus the rounding) is independent of how particles are chunked
+      // across threads.
+      Vec3 total;
+      for (const auto& s : slices_) {
+        if (i >= s.lo_ && i < s.hi_) total += s.forces_[i];
+      }
+      fx[i] = total.x;
+      fy[i] = total.y;
+      fz[i] = total.z;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(particles_, reduce_range);
+  } else {
+    reduce_range(0, particles_);
+  }
+}
+
+double ForceWorkspace::reduced_energy(EnergyTerm term) const {
+  constexpr auto kTerms = static_cast<std::size_t>(EnergyTerm::kCount);
+  double total = 0.0;
+  for (std::size_t s = 0; s < slices_.size(); ++s) {
+    total += term_energy_[s * kTerms + static_cast<std::size_t>(term)];
+  }
+  return total;
+}
+
+double ForceWorkspace::reduced_external(std::size_t contribution) const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < slices_.size(); ++s) {
+    total += external_energy_[s * external_terms_ + contribution];
+  }
+  return total;
+}
+
+// --- bonded kernels ------------------------------------------------------
+
+double BondKernel::evaluate_slice(const KernelContext& ctx, std::size_t slice,
+                                  std::size_t slice_count, ForceAccumulator& acc) {
+  const auto& bonds = ctx.topology->bonds();
+  const auto xs = ctx.state->positions();
+  const auto [lo, hi] = share_of(bonds.size(), slice, slice_count);
+  double energy = 0.0;
+  for (std::size_t b = lo; b < hi; ++b) {
+    const Bond& bond = bonds[b];
+    const EnergyForce ef = harmonic_bond(xs[bond.i], xs[bond.j], bond.k, bond.r0);
+    energy += ef.energy;
+    acc.add(bond.i, ef.force_on_i);
+    acc.add(bond.j, -ef.force_on_i);
+  }
+  return energy;
+}
+
+double AngleKernel::evaluate_slice(const KernelContext& ctx, std::size_t slice,
+                                   std::size_t slice_count, ForceAccumulator& acc) {
+  const auto& angles = ctx.topology->angles();
+  const auto xs = ctx.state->positions();
+  const auto [lo, hi] = share_of(angles.size(), slice, slice_count);
+  double energy = 0.0;
+  for (std::size_t a = lo; a < hi; ++a) {
+    const Angle& angle = angles[a];
+    Vec3 fi;
+    Vec3 fj;
+    Vec3 fk;
+    energy += harmonic_angle(xs[angle.i], xs[angle.j], xs[angle.k], angle.k_theta,
+                             angle.theta0, fi, fj, fk);
+    acc.add(angle.i, fi);
+    acc.add(angle.j, fj);
+    acc.add(angle.k, fk);
+  }
+  return energy;
+}
+
+double DihedralKernel::evaluate_slice(const KernelContext& ctx, std::size_t slice,
+                                      std::size_t slice_count, ForceAccumulator& acc) {
+  const auto& dihedrals = ctx.topology->dihedrals();
+  const auto xs = ctx.state->positions();
+  const auto [lo, hi] = share_of(dihedrals.size(), slice, slice_count);
+  double energy = 0.0;
+  for (std::size_t d = lo; d < hi; ++d) {
+    const Dihedral& dih = dihedrals[d];
+    Vec3 fi;
+    Vec3 fj;
+    Vec3 fk;
+    Vec3 fl;
+    energy += periodic_dihedral(xs[dih.i], xs[dih.j], xs[dih.k], xs[dih.l], dih.k_phi,
+                                dih.multiplicity, dih.delta, fi, fj, fk, fl);
+    acc.add(dih.i, fi);
+    acc.add(dih.j, fj);
+    acc.add(dih.k, fk);
+    acc.add(dih.l, fl);
+  }
+  return energy;
+}
+
+// --- nonbonded kernel ----------------------------------------------------
+
+void NonbondedKernel::begin_evaluation(const KernelContext& ctx) {
+  // Size the segment table serially: slices may not mutate the vector
+  // itself (a lazy resize inside evaluate_slice is a data race against the
+  // other slices' element reads). assign() rather than resize() so a
+  // slice-count change also invalidates every cached epoch.
+  if (segments_.size() != ctx.slice_count) {
+    segments_.assign(ctx.slice_count, SliceSegment{});
+  }
+}
+
+void NonbondedKernel::refresh_segment(const KernelContext& ctx, std::size_t slice,
+                                      std::size_t slice_count) {
+  (void)slice_count;
+  SliceSegment& seg = segments_[slice];
+  seg.pairs.clear();
+  const auto xs = ctx.state->positions();
+  const NeighborList& list = *ctx.neighbors;
+  const double reach = list.cutoff() + list.skin();
+  const double reach2 = reach * reach;
+  std::size_t lo = ctx.state->size();
+  std::size_t hi = 0;
+  list.for_each_candidate_pair(slice, slice_count, [&](std::uint32_t a, std::uint32_t b) {
+    if (distance2(xs[a], xs[b]) > reach2) return;
+    if (ctx.topology->excluded(a, b)) return;
+    seg.pairs.push_back({a, b});
+    lo = std::min<std::size_t>(lo, std::min(a, b));
+    hi = std::max<std::size_t>(hi, std::max(a, b) + 1);
+  });
+  seg.lo = lo;
+  seg.hi = hi;
+  seg.epoch = list.epoch();
+}
+
+double NonbondedKernel::evaluate_slice(const KernelContext& ctx, std::size_t slice,
+                                       std::size_t slice_count, ForceAccumulator& acc) {
+  SPICE_REQUIRE(slice < segments_.size(), "nonbonded segments not sized in begin_evaluation");
+  if (segments_[slice].epoch != ctx.neighbors->epoch()) {
+    refresh_segment(ctx, slice, slice_count);
+  }
+  const SliceSegment& seg = segments_[slice];
+  if (seg.pairs.empty()) return 0.0;
+  acc.note_range(seg.lo, seg.hi);
+
+  const auto xs = ctx.state->positions();
+  const auto q = ctx.state->charge();
+  const auto radius = ctx.state->sigma();
+  const NonbondedParams& params = *ctx.nonbonded;
+
+  // Hoisted constants: the seed inner loop re-derived the DH cutoff shift
+  // (a second exp!) and the WCA 2^(1/3) factor for every pair.
+  const double cutoff2 = params.cutoff * params.cutoff;
+  const double epsilon = params.epsilon_wca;
+  const double inv_lambda = 1.0 / params.debye_length;
+  const double coulomb_pref = units::kCoulomb / params.dielectric;
+  const double shift_per_pref = std::exp(-params.cutoff * inv_lambda) / params.cutoff;
+  const double wca_lift = std::cbrt(2.0);  // (2^{1/6} σ)² = 2^{1/3} σ²
+
+  double energy = 0.0;
+  for (const auto [i, j] : seg.pairs) {
+    const Vec3 dr = xs[i] - xs[j];
+    const double r2 = dr.norm2();
+    // The segment keeps pairs out to cutoff + skin; beyond the cutoff both
+    // terms vanish, so skip before any sqrt/exp.
+    if (r2 >= cutoff2 || r2 <= 0.0) continue;
+    Vec3 f;
+    const double sigma = radius[i] + radius[j];
+    const double wca_rc2 = sigma * sigma * wca_lift;
+    if (r2 < wca_rc2) {
+      const double s2 = sigma * sigma / r2;
+      const double s6 = s2 * s2 * s2;
+      const double s12 = s6 * s6;
+      energy += 4.0 * epsilon * (s12 - s6) + epsilon;
+      f += dr * (24.0 * epsilon * (2.0 * s12 - s6) / r2);
+    }
+    const double qq = q[i] * q[j];
+    if (qq != 0.0) {
+      const double r = std::sqrt(r2);
+      const double pref = coulomb_pref * qq;
+      const double u_r = pref * std::exp(-r * inv_lambda) / r;
+      energy += u_r - pref * shift_per_pref;
+      f += dr * (u_r * (1.0 / r + inv_lambda) / r);
+    }
+    acc[i] += f;
+    acc[j] -= f;
+  }
+  return energy;
+}
+
+}  // namespace spice::md

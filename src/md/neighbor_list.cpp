@@ -1,9 +1,8 @@
 #include "md/neighbor_list.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
-#include <unordered_map>
+#include <numeric>
 
 #include "common/error.hpp"
 #include "md/topology.hpp"
@@ -30,61 +29,78 @@ bool NeighborList::maybe_rebuild(std::span<const Vec3> positions, const Topology
   return true;
 }
 
+std::array<std::int64_t, 3> NeighborList::cell_of(const Vec3& r, double cell) {
+  return {static_cast<std::int64_t>(std::floor(r.x / cell)),
+          static_cast<std::int64_t>(std::floor(r.y / cell)),
+          static_cast<std::int64_t>(std::floor(r.z / cell))};
+}
+
+std::uint64_t NeighborList::key_of(const std::array<std::int64_t, 3>& c) {
+  // 21 bits per axis, offset to keep values positive.
+  constexpr std::int64_t kOffset = 1 << 20;
+  return static_cast<std::uint64_t>(((c[0] + kOffset) & 0x1fffff)) |
+         (static_cast<std::uint64_t>((c[1] + kOffset) & 0x1fffff) << 21) |
+         (static_cast<std::uint64_t>((c[2] + kOffset) & 0x1fffff) << 42);
+}
+
 void NeighborList::rebuild(std::span<const Vec3> positions, const Topology& topology) {
   SPICE_REQUIRE(positions.size() == topology.particle_count(),
                 "positions/topology size mismatch");
-  pairs_.clear();
   reference_positions_.assign(positions.begin(), positions.end());
   ++rebuilds_;
+  pairs_valid_ = false;
+
   const std::size_t n = positions.size();
-  if (n < 2) return;
+  const double cell = cutoff_ + skin_;
 
-  const double reach = cutoff_ + skin_;
-  const double reach2 = reach * reach;
+  // Bin particles: stable sort by packed cell key keeps ids ascending
+  // within a cell, which fixes every downstream iteration order.
+  std::vector<std::uint64_t> particle_key(n);
+  for (std::size_t i = 0; i < n; ++i) particle_key[i] = key_of(cell_of(positions[i], cell));
+  cell_particles_.resize(n);
+  std::iota(cell_particles_.begin(), cell_particles_.end(), 0u);
+  std::stable_sort(cell_particles_.begin(), cell_particles_.end(),
+                   [&particle_key](std::uint32_t a, std::uint32_t b) {
+                     return particle_key[a] < particle_key[b];
+                   });
 
-  // Cell grid keyed by quantized coordinates (open boundaries → sparse map).
-  const double cell = reach;
-  auto cell_of = [cell](const Vec3& r) {
-    const auto cx = static_cast<std::int64_t>(std::floor(r.x / cell));
-    const auto cy = static_cast<std::int64_t>(std::floor(r.y / cell));
-    const auto cz = static_cast<std::int64_t>(std::floor(r.z / cell));
-    return std::array<std::int64_t, 3>{cx, cy, cz};
-  };
-  auto key_of = [](const std::array<std::int64_t, 3>& c) {
-    // 21 bits per axis, offset to keep values positive.
-    constexpr std::int64_t kOffset = 1 << 20;
-    return static_cast<std::uint64_t>(((c[0] + kOffset) & 0x1fffff)) |
-           (static_cast<std::uint64_t>((c[1] + kOffset) & 0x1fffff) << 21) |
-           (static_cast<std::uint64_t>((c[2] + kOffset) & 0x1fffff) << 42);
-  };
-
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid;
-  grid.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    grid[key_of(cell_of(positions[i]))].push_back(static_cast<std::uint32_t>(i));
-  }
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto ci = cell_of(positions[i]);
-    for (std::int64_t dx = -1; dx <= 1; ++dx) {
-      for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        for (std::int64_t dz = -1; dz <= 1; ++dz) {
-          const auto it = grid.find(key_of({ci[0] + dx, ci[1] + dy, ci[2] + dz}));
-          if (it == grid.end()) continue;
-          for (const std::uint32_t j : it->second) {
-            if (j <= i) continue;  // each pair once, i < j
-            if (distance2(positions[i], positions[j]) > reach2) continue;
-            if (topology.excluded(static_cast<ParticleIndex>(i), j)) continue;
-            pairs_.push_back({static_cast<std::uint32_t>(i), j});
-          }
-        }
-      }
+  cell_keys_.clear();
+  cell_coords_.clear();
+  cell_begin_.clear();
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t id = cell_particles_[p];
+    if (cell_keys_.empty() || cell_keys_.back() != particle_key[id]) {
+      cell_keys_.push_back(particle_key[id]);
+      cell_coords_.push_back(cell_of(positions[id], cell));
+      cell_begin_.push_back(static_cast<std::uint32_t>(p));
     }
   }
-  // Deterministic pair order regardless of hash-map iteration quirks.
+  cell_begin_.push_back(static_cast<std::uint32_t>(n));
+
+  if (keep_pairs_) materialize_pairs(positions, topology);
+}
+
+void NeighborList::materialize_pairs(std::span<const Vec3> positions,
+                                     const Topology& topology) {
+  pairs_.clear();
+  const double reach = cutoff_ + skin_;
+  const double reach2 = reach * reach;
+  for_each_candidate_pair(0, 1, [&](std::uint32_t a, std::uint32_t b) {
+    if (distance2(positions[a], positions[b]) > reach2) return;
+    if (topology.excluded(a, b)) return;
+    pairs_.push_back({std::min(a, b), std::max(a, b)});
+  });
+  // Deterministic, consumer-friendly order (ascending i, then j).
   std::sort(pairs_.begin(), pairs_.end(), [](const NeighborPair& a, const NeighborPair& b) {
     return a.i != b.i ? a.i < b.i : a.j < b.j;
   });
+  pairs_valid_ = true;
+}
+
+const std::vector<NeighborPair>& NeighborList::pairs() const {
+  SPICE_REQUIRE(pairs_valid_,
+                "materialized pair list requested but keep_pairs() was off at build time");
+  return pairs_;
 }
 
 }  // namespace spice::md

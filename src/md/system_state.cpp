@@ -1,0 +1,99 @@
+#include "md/system_state.hpp"
+
+#include "common/error.hpp"
+#include "md/topology.hpp"
+
+namespace spice::md {
+
+void SystemState::reset(const Topology& topology) {
+  n_ = topology.particle_count();
+  auto zero = [this](std::vector<double>& v) { v.assign(n_, 0.0); };
+  zero(x_);
+  zero(y_);
+  zero(z_);
+  zero(vx_);
+  zero(vy_);
+  zero(vz_);
+  zero(fx_);
+  zero(fy_);
+  zero(fz_);
+  charge_.clear();
+  sigma_.clear();
+  mass_.clear();
+  inv_mass_.clear();
+  charge_.reserve(n_);
+  sigma_.reserve(n_);
+  mass_.reserve(n_);
+  inv_mass_.reserve(n_);
+  for (const auto& p : topology.particles()) {
+    charge_.push_back(p.charge);
+    sigma_.push_back(p.radius);
+    mass_.push_back(p.mass);
+    inv_mass_.push_back(1.0 / p.mass);
+  }
+  positions_aos_.assign(n_, Vec3{});
+  velocities_aos_.assign(n_, Vec3{});
+  forces_aos_.assign(n_, Vec3{});
+  positions_synced_ = velocities_synced_ = forces_synced_ = true;
+}
+
+void SystemState::scatter(std::span<const Vec3> src, std::vector<double>& x,
+                          std::vector<double>& y, std::vector<double>& z) {
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    x[i] = src[i].x;
+    y[i] = src[i].y;
+    z[i] = src[i].z;
+  }
+}
+
+void SystemState::gather(std::span<const double> x, std::span<const double> y,
+                         std::span<const double> z, std::vector<Vec3>& out) {
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = {x[i], y[i], z[i]};
+}
+
+std::span<const Vec3> SystemState::positions() const {
+  if (!positions_synced_) {
+    gather(x_, y_, z_, positions_aos_);
+    positions_synced_ = true;
+  }
+  return positions_aos_;
+}
+
+std::span<const Vec3> SystemState::velocities() const {
+  if (!velocities_synced_) {
+    gather(vx_, vy_, vz_, velocities_aos_);
+    velocities_synced_ = true;
+  }
+  return velocities_aos_;
+}
+
+std::span<const Vec3> SystemState::forces() const {
+  if (!forces_synced_) {
+    gather(fx_, fy_, fz_, forces_aos_);
+    forces_synced_ = true;
+  }
+  return forces_aos_;
+}
+
+void SystemState::set_positions(std::span<const Vec3> xs) {
+  SPICE_REQUIRE(xs.size() == n_, "position count mismatch");
+  scatter(xs, x_, y_, z_);
+  positions_aos_.assign(xs.begin(), xs.end());
+  positions_synced_ = true;
+}
+
+void SystemState::set_velocities(std::span<const Vec3> vs) {
+  SPICE_REQUIRE(vs.size() == n_, "velocity count mismatch");
+  scatter(vs, vx_, vy_, vz_);
+  velocities_aos_.assign(vs.begin(), vs.end());
+  velocities_synced_ = true;
+}
+
+void SystemState::set_forces(std::span<const Vec3> fs) {
+  SPICE_REQUIRE(fs.size() == n_, "force count mismatch");
+  scatter(fs, fx_, fy_, fz_);
+  forces_aos_.assign(fs.begin(), fs.end());
+  forces_synced_ = true;
+}
+
+}  // namespace spice::md

@@ -48,13 +48,16 @@ void Topology::add_exclusion(ParticleIndex i, ParticleIndex j) {
   exclusions_sorted_ = false;
 }
 
+void Topology::finalize() const {
+  if (exclusions_sorted_) return;
+  auto& mut = const_cast<std::vector<std::uint64_t>&>(exclusions_);
+  std::sort(mut.begin(), mut.end());
+  mut.erase(std::unique(mut.begin(), mut.end()), mut.end());
+  exclusions_sorted_ = true;
+}
+
 bool Topology::excluded(ParticleIndex i, ParticleIndex j) const {
-  if (!exclusions_sorted_) {
-    auto& mut = const_cast<std::vector<std::uint64_t>&>(exclusions_);
-    std::sort(mut.begin(), mut.end());
-    mut.erase(std::unique(mut.begin(), mut.end()), mut.end());
-    exclusions_sorted_ = true;
-  }
+  finalize();
   return std::binary_search(exclusions_.begin(), exclusions_.end(), pair_key(i, j));
 }
 

@@ -77,7 +77,14 @@ class Topology {
   [[nodiscard]] const std::vector<Angle>& angles() const { return angles_; }
   [[nodiscard]] const std::vector<Dihedral>& dihedrals() const { return dihedrals_; }
 
+  /// Sort and deduplicate the exclusion table. excluded() does this
+  /// lazily, but the lazy path mutates shared state — callers that will
+  /// query exclusions from multiple threads (the engine's parallel force
+  /// slices) must finalize once, serially, first.
+  void finalize() const;
+
   /// True if the nonbonded interaction between i and j is excluded.
+  /// Thread-safe after finalize().
   [[nodiscard]] bool excluded(ParticleIndex i, ParticleIndex j) const;
 
   [[nodiscard]] double total_mass() const;

@@ -32,13 +32,15 @@ void PositionRestraint::attach_anchors(std::vector<Vec3> anchors) {
   attached_ = true;
 }
 
-double PositionRestraint::add_forces(std::span<const Vec3> positions,
-                                     const spice::md::Topology& /*topology*/,
-                                     double /*time*/, std::span<Vec3> forces) {
+double PositionRestraint::accumulate_range(std::span<const Vec3> positions,
+                                           const spice::md::Topology& /*topology*/,
+                                           double /*time*/, std::size_t begin, std::size_t end,
+                                           std::span<Vec3> forces) {
   SPICE_REQUIRE(attached_, "PositionRestraint used before attach()");
   double energy = 0.0;
   for (std::size_t n = 0; n < atoms_.size(); ++n) {
     const std::uint32_t i = atoms_[n];
+    if (i < begin || i >= end) continue;
     Vec3 dev = positions[i] - anchors_[n];
     dev = {dev.x * mask_.x, dev.y * mask_.y, dev.z * mask_.z};
     energy += 0.5 * stiffness_ * dev.norm2();

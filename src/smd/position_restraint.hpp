@@ -36,8 +36,12 @@ class PositionRestraint final : public spice::md::ForceContribution {
   [[nodiscard]] double stiffness() const { return stiffness_; }
   [[nodiscard]] const std::vector<Vec3>& anchors() const { return anchors_; }
 
-  double add_forces(std::span<const Vec3> positions, const spice::md::Topology& topology,
-                    double time, std::span<Vec3> forces) override;
+  /// Purely per-atom — no serial phase needed; each range contributes the
+  /// energy of its own anchored atoms.
+  double accumulate_range(std::span<const Vec3> positions,
+                          const spice::md::Topology& topology, double time,
+                          std::size_t begin, std::size_t end,
+                          std::span<Vec3> forces) override;
   [[nodiscard]] std::string name() const override { return "posres"; }
 
  private:

@@ -42,9 +42,8 @@ void ConstantVelocityPull::attach(const spice::md::Engine& engine) {
   attached_ = true;
 }
 
-double ConstantVelocityPull::add_forces(std::span<const Vec3> positions,
-                                        const spice::md::Topology& topology, double time,
-                                        std::span<Vec3> forces) {
+double ConstantVelocityPull::begin_evaluation(std::span<const Vec3> positions,
+                                              const spice::md::Topology& topology, double time) {
   SPICE_REQUIRE(attached_, "ConstantVelocityPull used before attach()");
   const Vec3 com = spice::md::center_of_mass(positions, topology, params_.smd_atoms);
   const double xi = dot(com - com_reference_, direction_);
@@ -61,17 +60,25 @@ double ConstantVelocityPull::add_forces(std::span<const Vec3> positions,
   }
   last_lambda_ = lambda;
   last_xi_ = xi;
+  last_f_com_ = kappa_ * (lambda - xi);
 
-  // Spring force on the COM along the pull direction, distributed
-  // mass-weighted over the SMD atoms (a force f on the COM corresponds to
-  // f·(m_i / M) on each member).
-  const double f_com = kappa_ * (lambda - xi);
-  const auto& particles = topology.particles();
-  for (const auto i : params_.smd_atoms) {
-    forces[i] += direction_ * (f_com * particles[i].mass / selection_mass_);
-  }
   const double dev = xi - lambda;
   return 0.5 * kappa_ * dev * dev;
+}
+
+double ConstantVelocityPull::accumulate_range(std::span<const Vec3> /*positions*/,
+                                              const spice::md::Topology& topology,
+                                              double /*time*/, std::size_t begin,
+                                              std::size_t end, std::span<Vec3> forces) {
+  // Spring force on the COM along the pull direction, distributed
+  // mass-weighted over the SMD atoms (a force f on the COM corresponds to
+  // f·(m_i / M) on each member). Each range touches only its own atoms.
+  const auto& particles = topology.particles();
+  for (const auto i : params_.smd_atoms) {
+    if (i < begin || i >= end) continue;
+    forces[i] += direction_ * (last_f_com_ * particles[i].mass / selection_mass_);
+  }
+  return 0.0;
 }
 
 double ConstantVelocityPull::spring_force() const { return kappa_ * (last_lambda_ - last_xi_); }
@@ -81,20 +88,29 @@ ConstantForcePull::ConstantForcePull(std::vector<std::uint32_t> atoms, Vec3 forc
   SPICE_REQUIRE(!atoms_.empty(), "constant-force pull needs at least one atom");
 }
 
-double ConstantForcePull::add_forces(std::span<const Vec3> positions,
-                                     const spice::md::Topology& topology, double /*time*/,
-                                     std::span<Vec3> forces) {
-  double selection_mass = 0.0;
+double ConstantForcePull::begin_evaluation(std::span<const Vec3> positions,
+                                           const spice::md::Topology& topology,
+                                           double /*time*/) {
+  selection_mass_ = 0.0;
   const auto& particles = topology.particles();
   for (const auto i : atoms_) {
     SPICE_REQUIRE(i < positions.size(), "constant-force atom out of range");
-    selection_mass += particles[i].mass;
-  }
-  for (const auto i : atoms_) {
-    forces[i] += force_ * (particles[i].mass / selection_mass);
+    selection_mass_ += particles[i].mass;
   }
   // A constant force has no well-defined absolute potential; report 0 so
   // it does not pollute energy-conservation checks (documented behaviour).
+  return 0.0;
+}
+
+double ConstantForcePull::accumulate_range(std::span<const Vec3> /*positions*/,
+                                           const spice::md::Topology& topology, double /*time*/,
+                                           std::size_t begin, std::size_t end,
+                                           std::span<Vec3> forces) {
+  const auto& particles = topology.particles();
+  for (const auto i : atoms_) {
+    if (i < begin || i >= end) continue;
+    forces[i] += force_ * (particles[i].mass / selection_mass_);
+  }
   return 0.0;
 }
 

@@ -62,8 +62,14 @@ class ConstantVelocityPull final : public spice::md::ForceContribution {
   /// state. Must be called before the first pulled step.
   void attach(const spice::md::Engine& engine);
 
-  double add_forces(std::span<const Vec3> positions, const spice::md::Topology& topology,
-                    double time, std::span<Vec3> forces) override;
+  /// Serial phase: advance the anchor, measure ξ, accumulate work.
+  double begin_evaluation(std::span<const Vec3> positions,
+                          const spice::md::Topology& topology, double time) override;
+  /// Parallel phase: mass-weighted spring force on selection atoms in range.
+  double accumulate_range(std::span<const Vec3> positions,
+                          const spice::md::Topology& topology, double time,
+                          std::size_t begin, std::size_t end,
+                          std::span<Vec3> forces) override;
   [[nodiscard]] std::string name() const override { return "smd-cv"; }
 
   [[nodiscard]] const SmdParams& params() const { return params_; }
@@ -90,6 +96,7 @@ class ConstantVelocityPull final : public spice::md::ForceContribution {
   double last_xi_ = 0.0;
   double work_ = 0.0;
   double selection_mass_ = 0.0;
+  double last_f_com_ = 0.0;  ///< spring force on the COM from begin_evaluation
 };
 
 /// Constant external force on a selection, mass-distributed (IMD mode).
@@ -101,13 +108,18 @@ class ConstantForcePull final : public spice::md::ForceContribution {
   void set_force(const Vec3& force) { force_ = force; }
   [[nodiscard]] const Vec3& force() const { return force_; }
 
-  double add_forces(std::span<const Vec3> positions, const spice::md::Topology& topology,
-                    double time, std::span<Vec3> forces) override;
+  double begin_evaluation(std::span<const Vec3> positions,
+                          const spice::md::Topology& topology, double time) override;
+  double accumulate_range(std::span<const Vec3> positions,
+                          const spice::md::Topology& topology, double time,
+                          std::size_t begin, std::size_t end,
+                          std::span<Vec3> forces) override;
   [[nodiscard]] std::string name() const override { return "smd-cf"; }
 
  private:
   std::vector<std::uint32_t> atoms_;
   Vec3 force_;
+  double selection_mass_ = 0.0;  ///< computed once per evaluation
 };
 
 /// Result of a completed constant-velocity pull.

@@ -33,9 +33,8 @@ void StaticRestraint::reset_statistics() {
   xi_samples_.clear();
 }
 
-double StaticRestraint::add_forces(std::span<const Vec3> positions,
-                                   const spice::md::Topology& topology, double time,
-                                   std::span<Vec3> forces) {
+double StaticRestraint::begin_evaluation(std::span<const Vec3> positions,
+                                         const spice::md::Topology& topology, double time) {
   SPICE_REQUIRE(attached_, "StaticRestraint used before attach()");
   const Vec3 com = spice::md::center_of_mass(positions, topology, atoms_);
   const double xi = dot(com - com_reference_, direction_);
@@ -51,14 +50,23 @@ double StaticRestraint::add_forces(std::span<const Vec3> positions,
   }
 
   const double dev = xi - center_;
-  double selection_mass = 0.0;
+  last_f_com_ = -kappa_ * dev;
+  selection_mass_ = 0.0;
   const auto& particles = topology.particles();
-  for (const auto i : atoms_) selection_mass += particles[i].mass;
-  const double f_com = -kappa_ * dev;
-  for (const auto i : atoms_) {
-    forces[i] += direction_ * (f_com * particles[i].mass / selection_mass);
-  }
+  for (const auto i : atoms_) selection_mass_ += particles[i].mass;
   return 0.5 * kappa_ * dev * dev;
+}
+
+double StaticRestraint::accumulate_range(std::span<const Vec3> /*positions*/,
+                                         const spice::md::Topology& topology, double /*time*/,
+                                         std::size_t begin, std::size_t end,
+                                         std::span<Vec3> forces) {
+  const auto& particles = topology.particles();
+  for (const auto i : atoms_) {
+    if (i < begin || i >= end) continue;
+    forces[i] += direction_ * (last_f_com_ * particles[i].mass / selection_mass_);
+  }
+  return 0.0;
 }
 
 }  // namespace spice::smd

@@ -48,8 +48,14 @@ class StaticRestraint final : public spice::md::ForceContribution {
   /// Enable/disable per-evaluation ξ recording (off by default).
   void set_record_samples(bool record) { record_samples_ = record; }
 
-  double add_forces(std::span<const Vec3> positions, const spice::md::Topology& topology,
-                    double time, std::span<Vec3> forces) override;
+  /// Serial phase: measure ξ, collect statistics (once per time stamp).
+  double begin_evaluation(std::span<const Vec3> positions,
+                          const spice::md::Topology& topology, double time) override;
+  /// Parallel phase: mass-weighted restoring force on atoms in range.
+  double accumulate_range(std::span<const Vec3> positions,
+                          const spice::md::Topology& topology, double time,
+                          std::size_t begin, std::size_t end,
+                          std::span<Vec3> forces) override;
   [[nodiscard]] std::string name() const override { return "restraint"; }
 
  private:
@@ -61,6 +67,8 @@ class StaticRestraint final : public spice::md::ForceContribution {
   Vec3 com_reference_;
   double last_xi_ = 0.0;
   double last_time_ = -1.0;
+  double last_f_com_ = 0.0;      ///< restoring force on the COM
+  double selection_mass_ = 0.0;  ///< computed once per evaluation
   bool record_samples_ = false;
   spice::RunningStats xi_stats_;
   spice::RunningStats force_stats_;

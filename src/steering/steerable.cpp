@@ -74,7 +74,13 @@ std::map<std::string, double> SteerableSimulation::monitored_parameters() {
   out["step"] = static_cast<double>(engine_.step_count());
   out["temperature_K"] = engine_.instantaneous_temperature();
   out["kinetic_kcal"] = engine_.kinetic_energy();
-  out["potential_kcal"] = engine_.compute_energies().total();
+  const auto& energies = engine_.compute_energies();
+  out["potential_kcal"] = energies.total();
+  // Per-contribution external energies (pore vs SMD spring vs steering
+  // force are distinguishable on the monitor).
+  for (const auto& term : energies.external_terms) {
+    out["energy_" + term.name + "_kcal"] = term.energy;
+  }
   const Vec3 com =
       spice::md::center_of_mass(engine_.positions(), engine_.topology(), steered_atoms_);
   out["steered_com_z"] = com.z;
