@@ -33,15 +33,20 @@ double work_at_lambda(const spice::smd::PullResult& pull, double lambda) {
 
 namespace {
 /// Replace each sample's work with the trapezoidal integral of the
-/// recorded spring force: W(t_k) = Σ ½(F_i + F_{i+1})·v·(t_{i+1} − t_i).
-spice::smd::PullResult reintegrate_from_force(const spice::smd::PullResult& pull,
-                                              double velocity) {
+/// recorded spring force over the ANCHOR path:
+/// W(λ_k) = Σ ½(F_i + F_{i+1})·(λ_{i+1} − λ_i).
+/// Integrating over λ rather than F·v̄·dt matters whenever the anchor is
+/// not in uniform motion — with SmdParams::hold_ps > 0 the spring is
+/// stationary at first (dλ = 0, dW = 0 regardless of the settling force),
+/// and a time-based integral with the average velocity over-accumulates
+/// work during that phase.
+spice::smd::PullResult reintegrate_from_force(const spice::smd::PullResult& pull) {
   spice::smd::PullResult out = pull;
   double w = 0.0;
   for (std::size_t i = 1; i < out.samples.size(); ++i) {
     const auto& prev = out.samples[i - 1];
     auto& cur = out.samples[i];
-    w += 0.5 * (prev.force + cur.force) * velocity * (cur.time - prev.time);
+    w += 0.5 * (prev.force + cur.force) * (cur.lambda - prev.lambda);
     cur.work = w;
   }
   if (!out.samples.empty()) out.samples.front().work = 0.0;
@@ -65,10 +70,7 @@ WorkEnsemble grid_work_ensemble(std::span<const spice::smd::PullResult> pulls, d
     std::vector<double> w(points);
     if (source == WorkSource::SampledForce) {
       SPICE_REQUIRE(pull.samples.size() >= 2, "sampled-force work needs ≥ 2 samples");
-      const double duration = pull.samples.back().time - pull.samples.front().time;
-      SPICE_REQUIRE(duration > 0.0, "pull has zero duration");
-      const double velocity = pull.pulled_distance / duration;
-      const spice::smd::PullResult reintegrated = reintegrate_from_force(pull, velocity);
+      const spice::smd::PullResult reintegrated = reintegrate_from_force(pull);
       for (std::size_t g = 0; g < points; ++g) {
         w[g] = work_at_lambda(reintegrated, ensemble.lambda[g]);
       }

@@ -1,0 +1,65 @@
+#include "grid/faults.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace spice::grid {
+
+FaultInjector::FaultInjector(Federation& federation, FaultConfig config)
+    : federation_(federation), config_(std::move(config)) {
+  SPICE_REQUIRE(config_.mean_outage_hours > 0.0, "outage duration must be positive");
+  SPICE_REQUIRE(config_.site_mtbf_hours >= 0.0, "MTBF must be non-negative");
+}
+
+std::size_t FaultInjector::arm() {
+  SPICE_REQUIRE(!armed_, "fault injector already armed");
+  armed_ = true;
+
+  for (const auto& outage : config_.scheduled) {
+    SPICE_REQUIRE(federation_.find(outage.site) != nullptr,
+                  "scheduled outage names unknown site: " + outage.site);
+    SPICE_REQUIRE(outage.duration_hours > 0.0, "outage duration must be positive");
+    outages_.push_back(outage);
+  }
+
+  // Random failure/repair process per site, seeded by (seed, site index):
+  // the schedule is a pure function of the config, independent of campaign
+  // content, dispatch order, or how many events the DES has processed.
+  if (config_.site_mtbf_hours > 0.0) {
+    const auto& sites = federation_.sites();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      Rng rng = Rng::stream(config_.seed, 0x6661756c74ULL /*"fault"*/, i);
+      double t = rng.exponential(config_.site_mtbf_hours);
+      while (t < config_.horizon_hours) {
+        const double duration = rng.exponential(config_.mean_outage_hours);
+        outages_.push_back({sites[i]->name(), t, duration});
+        t += duration + rng.exponential(config_.site_mtbf_hours);
+      }
+    }
+  }
+
+  EventQueue& events = federation_.events();
+  for (const auto& outage : outages_) {
+    Site* site = federation_.find(outage.site);
+    const double until = outage.start_hours + outage.duration_hours;
+    SPICE_REQUIRE(outage.start_hours >= events.now(), "outage scheduled in the past");
+    events.at(outage.start_hours, [site, until] {
+      // A longer outage may already hold the site past `until`;
+      // fail_until keeps the later end.
+      site->fail_until(until);
+    });
+  }
+  return outages_.size();
+}
+
+void FaultInjector::attach_network(spice::net::Network& network) const {
+  for (const auto& window : config_.degradation) {
+    network.add_degradation_window({.start_s = window.start_hours * 3600.0,
+                                    .end_s = window.end_hours * 3600.0,
+                                    .latency_factor = window.latency_factor,
+                                    .loss_add = window.loss_add});
+  }
+}
+
+}  // namespace spice::grid

@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic fault injection for the federated grid — the §V operational
+// reality SPICE's campaign layer had to survive: sites failing mid-job,
+// scheduled maintenance outages, and transient WAN degradation, all driven
+// through the shared DES event queue so every injected fault replays
+// bit-identically for a given seed.
+//
+// Scheduled outages are listed explicitly; random mid-job site failures are
+// drawn per site from an exponential failure/repair process seeded by
+// (config.seed, site index), so the schedule never depends on campaign
+// content or dispatch order. Network degradation windows are forwarded to a
+// spice::net::Network (which runs on a seconds clock; grid hours are
+// converted on attach).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/federation.hpp"
+
+namespace spice::net {
+class Network;
+}
+
+namespace spice::grid {
+
+struct ScheduledOutage {
+  std::string site;
+  double start_hours = 0.0;
+  double duration_hours = 0.0;
+};
+
+struct NetworkDegradation {
+  double start_hours = 0.0;
+  double end_hours = 0.0;
+  double latency_factor = 4.0;  ///< multiplies path latency and jitter
+  double loss_add = 0.05;       ///< added per-message loss probability
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 2005;
+  std::vector<ScheduledOutage> scheduled;
+  /// Mean time between random site failures (per site, hours); 0 disables
+  /// the random failure process.
+  double site_mtbf_hours = 0.0;
+  double mean_outage_hours = 4.0;   ///< exponential outage duration
+  double horizon_hours = 500.0;     ///< random failures drawn in [0, horizon)
+  std::vector<NetworkDegradation> degradation;
+
+  [[nodiscard]] bool enabled() const {
+    return site_mtbf_hours > 0.0 || !scheduled.empty() || !degradation.empty();
+  }
+};
+
+/// Arms a fault schedule against a federation's event queue. The full
+/// outage schedule (scheduled + randomly drawn) is materialized up front
+/// and exposed for inspection, then injected as DES events.
+class FaultInjector {
+ public:
+  FaultInjector(Federation& federation, FaultConfig config);
+
+  /// Materialize the schedule and inject every fault as a DES event.
+  /// Returns the number of outages armed. Call at most once.
+  std::size_t arm();
+
+  /// Forward the configured degradation windows onto a network simulator
+  /// (grid hours → network seconds).
+  void attach_network(spice::net::Network& network) const;
+
+  /// The materialized outage schedule (valid after arm()).
+  [[nodiscard]] const std::vector<ScheduledOutage>& outages() const { return outages_; }
+
+ private:
+  Federation& federation_;
+  FaultConfig config_;
+  std::vector<ScheduledOutage> outages_;
+  bool armed_ = false;
+};
+
+}  // namespace spice::grid

@@ -1,9 +1,11 @@
 #include "grid/federation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace spice::grid {
 
@@ -13,6 +15,9 @@ Site& Federation::add_site(const SiteSpec& spec) {
   Site& site = *sites_.back();
   site.set_completion_handler([this](const Job& job) {
     for (const auto& listener : listeners_) listener(job);
+  });
+  site.set_recovery_handler([this, &site] {
+    for (const auto& listener : recovery_listeners_) listener(site);
   });
   return site;
 }
@@ -38,19 +43,41 @@ int Federation::total_processors() const {
   return total;
 }
 
+double RetryPolicy::delay_hours(JobId job, int attempt) const {
+  SPICE_REQUIRE(attempt >= 1, "retry attempts count from 1");
+  double delay = base_backoff_hours;
+  for (int a = 1; a < attempt && delay < max_backoff_hours; ++a) delay *= backoff_factor;
+  delay = std::min(delay, max_backoff_hours);
+  // Deterministic jitter from (seed, job, attempt): identical reruns stay
+  // bit-identical, but co-failing jobs never retry in lockstep.
+  SplitMix64 mix(seed ^ (job * 0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<std::uint64_t>(attempt) << 32));
+  const double unit =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return delay * (1.0 - jitter_fraction + 2.0 * jitter_fraction * unit);
+}
+
 Broker::Broker(Federation& federation, CampaignConfig config)
     : federation_(federation), config_(std::move(config)) {
   SPICE_REQUIRE(!config_.jobs.empty(), "campaign has no jobs");
+  SPICE_REQUIRE(config_.completion_floor >= 0.0 && config_.completion_floor <= 1.0,
+                "completion floor must be a fraction");
   federation_.add_listener([this](const Job& job) { on_job_done(job); });
+  federation_.add_recovery_listener([this](Site&) { release_held(); });
 }
 
 void Broker::submit_all() {
   SPICE_REQUIRE(!submitted_, "campaign already submitted");
   submitted_ = true;
   result_.submit_time = federation_.events().now();
+  result_.requested = config_.jobs.size();
+  result_.completion_floor = config_.completion_floor;
   outstanding_ = config_.jobs.size();
   for (auto& job : config_.jobs) {
     job.kind = JobKind::Campaign;
+    if (job.checkpoint_interval_hours <= 0.0) {
+      job.checkpoint_interval_hours = config_.checkpoint_interval_hours;
+    }
     dispatch(job, "");
   }
 }
@@ -70,8 +97,19 @@ Site* Broker::choose_site(const Job& job, const std::string& exclude) {
   switch (config_.policy) {
     case BrokerPolicy::SingleSite:
       return usable.front();
-    case BrokerPolicy::RoundRobin:
-      return usable[round_robin_next_++ % usable.size()];
+    case BrokerPolicy::RoundRobin: {
+      // Rotate over the FULL federation site list, skipping unusable
+      // entries, so an outage or per-retry exclusion does not shift the
+      // rotation phase of every later dispatch.
+      const auto& all = federation_.sites();
+      for (std::size_t k = 0; k < all.size(); ++k) {
+        Site* candidate = all[(round_robin_next_ + k) % all.size()].get();
+        if (std::find(usable.begin(), usable.end(), candidate) == usable.end()) continue;
+        round_robin_next_ = (round_robin_next_ + k + 1) % all.size();
+        return candidate;
+      }
+      return usable.front();  // unreachable: usable ⊆ all
+    }
     case BrokerPolicy::LeastBacklog: {
       Site* best = nullptr;
       double best_load = std::numeric_limits<double>::infinity();
@@ -92,18 +130,77 @@ Site* Broker::choose_site(const Job& job, const std::string& exclude) {
   return usable.front();
 }
 
+bool Broker::feasible_somewhere(const Job& job) const {
+  for (const auto& s : federation_.sites()) {
+    if (!s->spec().grid_enabled) continue;
+    if (job.processors > s->spec().processors) continue;
+    if (!config_.restrict_grid.empty() && s->spec().grid != config_.restrict_grid) continue;
+    if (config_.policy == BrokerPolicy::SingleSite && s->name() != config_.single_site)
+      continue;
+    return true;
+  }
+  return false;
+}
+
 void Broker::dispatch(Job job, const std::string& exclude) {
   Site* site = choose_site(job, exclude);
   if (site == nullptr) {
-    job.state = JobState::Failed;
-    job.end_time = federation_.events().now();
-    result_.failed += 1;
-    result_.finished_jobs.push_back(std::move(job));
-    SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
-    --outstanding_;
+    // No site can take it RIGHT NOW. If some site could ever run it, park
+    // it in the held queue instead of losing it (every site momentarily in
+    // outage is the situation SPICE's production runs had to survive).
+    if (feasible_somewhere(job)) {
+      hold(std::move(job));
+    } else {
+      fail_permanently(std::move(job));
+    }
     return;
   }
+  if (job.completed_fraction > 0.0) result_.checkpoint_restarts += 1;
   site->submit(std::move(job));
+}
+
+void Broker::hold(Job job) {
+  job.holds += 1;
+  if (job.holds > config_.retry.max_holds) {
+    fail_permanently(std::move(job));
+    return;
+  }
+  result_.held_dispatches += 1;
+  job.state = JobState::Pending;
+  job.site.clear();
+  const JobId id = job.id;
+  const double delay = config_.retry.delay_hours(id, job.requeues + job.holds);
+  held_.push_back(std::move(job));
+  federation_.events().after(delay, [this, id] { retry_held(id); });
+}
+
+void Broker::retry_held(JobId id) {
+  const auto it = std::find_if(held_.begin(), held_.end(),
+                               [id](const Job& j) { return j.id == id; });
+  if (it == held_.end()) return;  // already released by a site recovery
+  Job job = std::move(*it);
+  held_.erase(it);
+  dispatch(std::move(job), "");
+}
+
+void Broker::release_held() {
+  std::vector<Job> parked;
+  parked.swap(held_);
+  for (auto& job : parked) dispatch(std::move(job), "");
+}
+
+void Broker::fail_permanently(Job job) {
+  job.state = JobState::Failed;
+  job.end_time = federation_.events().now();
+  result_.failed += 1;
+  // Everything a permanently failed job burned is wasted: its checkpoints
+  // are never resumed.
+  result_.wasted_cpu_hours += job.consumed_cpu_hours;
+  result_.makespan_hours =
+      std::max(result_.makespan_hours, job.end_time - result_.submit_time);
+  result_.finished_jobs.push_back(std::move(job));
+  SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
+  --outstanding_;
 }
 
 void Broker::on_job_done(const Job& job) {
@@ -112,29 +209,31 @@ void Broker::on_job_done(const Job& job) {
     SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
     --outstanding_;
     result_.completed += 1;
-    result_.total_cpu_hours += job.processors * (job.end_time - job.start_time);
+    result_.total_cpu_hours += job.consumed_cpu_hours;
+    result_.credited_cpu_hours += job.consumed_cpu_hours - job.wasted_cpu_hours;
+    result_.wasted_cpu_hours += job.wasted_cpu_hours;
     result_.jobs_per_site[job.site] += 1;
     result_.finished_jobs.push_back(job);
     const double wait = job.wait_hours();
     result_.mean_wait_hours += wait;  // finalized in result()
     result_.max_wait_hours = std::max(result_.max_wait_hours, wait);
-    result_.makespan_hours = job.end_time - result_.submit_time;
+    result_.makespan_hours =
+        std::max(result_.makespan_hours, job.end_time - result_.submit_time);
     return;
   }
-  // Failed: requeue elsewhere if budget remains.
+  // Failed mid-run (outage): requeue with exponential backoff if budget
+  // remains. Checkpoint credit travels inside the job, so the re-run only
+  // covers the lost tail.
   Job retry = job;
   if (retry.requeues >= config_.max_requeues) {
-    SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
-    --outstanding_;
-    result_.failed += 1;
-    result_.finished_jobs.push_back(retry);
+    fail_permanently(std::move(retry));
     return;
   }
   retry.requeues += 1;
   retry.state = JobState::Pending;
   const std::string failed_site = retry.site;
-  // Small administrative delay before resubmission.
-  federation_.events().after(0.1, [this, retry, failed_site]() mutable {
+  const double delay = config_.retry.delay_hours(retry.id, retry.requeues);
+  federation_.events().after(delay, [this, retry, failed_site]() mutable {
     dispatch(std::move(retry), failed_site);
   });
 }

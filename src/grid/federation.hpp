@@ -22,6 +22,7 @@ namespace spice::grid {
 class Federation {
  public:
   using Listener = std::function<void(const Job&)>;
+  using RecoveryListener = std::function<void(Site&)>;
 
   explicit Federation(EventQueue& events) : events_(events) {}
 
@@ -37,16 +38,38 @@ class Federation {
   /// every site, campaign and background alike).
   void add_listener(Listener listener) { listeners_.push_back(std::move(listener)); }
 
+  /// Register an outage-recovery listener (fires when any site's outage
+  /// lifts — the broker uses this to re-dispatch held jobs).
+  void add_recovery_listener(RecoveryListener listener) {
+    recovery_listeners_.push_back(std::move(listener));
+  }
+
  private:
   EventQueue& events_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<Listener> listeners_;
+  std::vector<RecoveryListener> recovery_listeners_;
 };
 
 enum class BrokerPolicy {
   LeastBacklog,  ///< send each job to the usable site with the least queued work
   RoundRobin,    ///< cycle over usable sites
   SingleSite,    ///< everything to one named site (the no-grid baseline)
+};
+
+/// Re-dispatch timing after failures and held-queue parks: exponential
+/// backoff with deterministic per-(job, attempt) jitter, so reruns with the
+/// same seed are bit-identical while retries never synchronize into waves.
+struct RetryPolicy {
+  double base_backoff_hours = 0.1;  ///< first retry delay
+  double backoff_factor = 2.0;      ///< growth per attempt
+  double max_backoff_hours = 6.0;   ///< delay cap
+  double jitter_fraction = 0.25;    ///< delay scaled by [1−f, 1+f)
+  int max_holds = 100;              ///< held-queue budget before giving up
+  std::uint64_t seed = 0x53504943;  ///< jitter stream seed
+
+  /// Deterministic delay for a job's attempt-th retry (attempt ≥ 1).
+  [[nodiscard]] double delay_hours(JobId job, int attempt) const;
 };
 
 struct CampaignConfig {
@@ -56,18 +79,43 @@ struct CampaignConfig {
   std::string restrict_grid;  ///< non-empty: only sites of this grid
                               ///< (models a US-only or UK-only allocation)
   int max_requeues = 5;       ///< per-job failure budget before giving up
+  RetryPolicy retry;          ///< backoff for requeues and held jobs
+  /// Propagated onto every campaign job that does not set its own cadence;
+  /// 0 disables checkpoint-credited restarts.
+  double checkpoint_interval_hours = 0.0;
+  /// Graceful degradation: the campaign is acceptable when at least this
+  /// fraction of the requested replicas completed (1.0 = all required).
+  double completion_floor = 1.0;
 };
 
 struct CampaignResult {
   double submit_time = 0.0;
-  double makespan_hours = 0.0;   ///< last completion − submit time
-  double total_cpu_hours = 0.0;  ///< Σ procs × runtime over completed jobs
+  double makespan_hours = 0.0;   ///< last completion OR permanent failure − submit
+  double total_cpu_hours = 0.0;  ///< Σ procs × wall over ALL attempts of completed jobs
+  double credited_cpu_hours = 0.0;  ///< CPU-hours that produced kept work
+  /// CPU-hours lost past the last credited checkpoint of completed jobs,
+  /// plus everything permanently failed jobs burned.
+  double wasted_cpu_hours = 0.0;
   std::size_t completed = 0;
-  std::size_t failed = 0;  ///< jobs that exhausted their requeue budget
+  std::size_t failed = 0;  ///< jobs that exhausted their requeue/hold budget
+  std::size_t requested = 0;         ///< campaign size as submitted
+  std::size_t held_dispatches = 0;   ///< times a job entered the held queue
+  std::size_t checkpoint_restarts = 0;  ///< dispatches resuming banked progress
   double mean_wait_hours = 0.0;
   double max_wait_hours = 0.0;
   std::map<std::string, int> jobs_per_site;
   std::vector<Job> finished_jobs;
+
+  double completion_floor = 1.0;  ///< copied from the campaign config
+
+  [[nodiscard]] std::size_t shortfall() const { return requested - completed; }
+  [[nodiscard]] bool degraded() const { return shortfall() > 0; }
+  /// True when enough replicas completed for the campaign to count as a
+  /// (possibly degraded) success.
+  [[nodiscard]] bool meets_floor() const {
+    return static_cast<double>(completed) + 1e-9 >=
+           completion_floor * static_cast<double>(requested);
+  }
 };
 
 /// Dispatches one campaign over a federation. Submit, then run the event
@@ -85,12 +133,21 @@ class Broker {
 
  private:
   [[nodiscard]] Site* choose_site(const Job& job, const std::string& exclude);
+  /// Could any site EVER run this job (ignoring outages/exclusions)?
+  [[nodiscard]] bool feasible_somewhere(const Job& job) const;
   void dispatch(Job job, const std::string& exclude);
+  /// Park a job that currently has no usable site; it is re-dispatched on
+  /// the next site recovery or its own backoff timer, whichever first.
+  void hold(Job job);
+  void retry_held(JobId id);   ///< backoff-timer path out of the held queue
+  void release_held();         ///< recovery path: re-dispatch everything held
+  void fail_permanently(Job job);
   void on_job_done(const Job& job);
 
   Federation& federation_;
   CampaignConfig config_;
   CampaignResult result_;
+  std::vector<Job> held_;
   std::size_t outstanding_ = 0;
   std::size_t round_robin_next_ = 0;
   bool submitted_ = false;

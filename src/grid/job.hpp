@@ -24,6 +24,11 @@ struct Job {
   /// runtime at a site is runtime_hours / site.speed.
   double runtime_hours = 1.0;
 
+  /// Simulated periodic checkpoint cadence in site wall-clock hours. When
+  /// > 0, a job killed by an outage keeps the work up to its last
+  /// checkpoint (completed_fraction advances) and only re-runs the tail.
+  double checkpoint_interval_hours = 0.0;
+
   // Filled in by the simulation:
   JobState state = JobState::Pending;
   std::string site;         ///< where it ran (or is queued)
@@ -31,7 +36,17 @@ struct Job {
   double start_time = 0.0;
   double end_time = 0.0;
   int requeues = 0;         ///< times the job was re-dispatched after a failure
+  int holds = 0;            ///< times the broker parked it in the held queue
+  /// Checkpoint-credited progress in [0, 1]: the fraction of runtime_hours
+  /// already banked by completed checkpoints across earlier attempts.
+  double completed_fraction = 0.0;
+  double consumed_cpu_hours = 0.0;  ///< procs × wall-hours burned over ALL attempts
+  double wasted_cpu_hours = 0.0;    ///< consumed beyond the last credited checkpoint
 
+  /// Reference hours still to run (shrinks as checkpoints are credited).
+  [[nodiscard]] double remaining_hours() const {
+    return runtime_hours * (1.0 - completed_fraction);
+  }
   [[nodiscard]] double wait_hours() const { return start_time - submit_time; }
   [[nodiscard]] double cpu_hours(double site_speed) const {
     return processors * runtime_hours / site_speed;

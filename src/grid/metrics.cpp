@@ -85,6 +85,29 @@ std::vector<TimelinePoint> concurrency_timeline(const std::vector<Job>& jobs,
   return out;
 }
 
+CpuAccounting cpu_accounting(const std::vector<Job>& jobs) {
+  CpuAccounting acc;
+  for (const auto& j : jobs) {
+    acc.consumed_cpu_hours += j.consumed_cpu_hours;
+    if (j.state == JobState::Completed) {
+      acc.credited_cpu_hours += j.consumed_cpu_hours - j.wasted_cpu_hours;
+      acc.wasted_cpu_hours += j.wasted_cpu_hours;
+      if (j.requeues > 0) {
+        acc.restarted_jobs += 1;
+        // Credit banked by earlier attempts = consumed − wasted − final run.
+        const double final_run = j.processors * (j.end_time - j.start_time);
+        if (j.consumed_cpu_hours - j.wasted_cpu_hours - final_run > 1e-9) {
+          acc.checkpointed_restarts += 1;
+        }
+      }
+    } else {
+      // A job that never completed delivered nothing.
+      acc.wasted_cpu_hours += j.consumed_cpu_hours;
+    }
+  }
+  return acc;
+}
+
 int peak_processors(const std::vector<Job>& jobs, std::size_t samples) {
   int peak = 0;
   for (const auto& p : concurrency_timeline(jobs, samples)) {

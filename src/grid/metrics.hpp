@@ -47,4 +47,20 @@ struct TimelinePoint {
 /// Peak concurrent campaign processors (resolution: the sampled timeline).
 [[nodiscard]] int peak_processors(const std::vector<Job>& jobs, std::size_t samples = 200);
 
+/// Wasted-vs-credited CPU-hour accounting under failures and checkpoint-
+/// credited restarts, aggregated from finished-job records.
+struct CpuAccounting {
+  double consumed_cpu_hours = 0.0;  ///< procs × wall over every attempt of every job
+  double credited_cpu_hours = 0.0;  ///< consumed hours that produced kept work
+  double wasted_cpu_hours = 0.0;    ///< lost tails + all burn of failed jobs
+  std::size_t restarted_jobs = 0;   ///< completed jobs that survived ≥ 1 failure
+  std::size_t checkpointed_restarts = 0;  ///< restarted jobs that resumed banked work
+
+  [[nodiscard]] double efficiency() const {
+    return consumed_cpu_hours > 0.0 ? credited_cpu_hours / consumed_cpu_hours : 1.0;
+  }
+};
+
+[[nodiscard]] CpuAccounting cpu_accounting(const std::vector<Job>& jobs);
+
 }  // namespace spice::grid

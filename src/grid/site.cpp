@@ -1,6 +1,7 @@
 #include "grid/site.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -42,7 +43,7 @@ bool Site::fits_now(int procs, double duration) const {
 }
 
 double Site::shadow_time(const Job& head) const {
-  const double duration = head.runtime_hours / spec_.speed;
+  const double duration = head.remaining_hours() / spec_.speed;
   // Candidate start times: now, then each running-job end and reservation
   // end, in order. At each candidate check feasibility.
   std::vector<double> candidates{events_.now()};
@@ -69,7 +70,7 @@ double Site::shadow_time(const Job& head) const {
 double Site::backlog_hours() const {
   double queued_work = 0.0;
   for (const auto& j : queue_) {
-    queued_work += j.processors * j.runtime_hours / spec_.speed;
+    queued_work += j.processors * j.remaining_hours() / spec_.speed;
   }
   for (const auto& r : running_) {
     if (r.alive) {
@@ -110,27 +111,29 @@ void Site::add_reservation(const Reservation& r) {
 }
 
 void Site::start_job(Job job) {
-  const double duration = job.runtime_hours / spec_.speed;
+  const double duration = job.remaining_hours() / spec_.speed;
   job.state = JobState::Running;
   job.start_time = events_.now();
   free_procs_ -= job.processors;
   SPICE_ENSURE(free_procs_ >= 0, "site over-subscribed");
-  const JobId id = job.id;
+  const std::uint64_t token = next_run_token_++;
   const double end = events_.now() + duration;
-  running_.push_back(Running{std::move(job), end, true});
-  events_.at(end, [this, id] { finish_job(id); });
+  running_.push_back(Running{std::move(job), end, token, true});
+  events_.at(end, [this, token] { finish_job(token); });
 }
 
-void Site::finish_job(JobId id) {
-  const auto it = std::find_if(running_.begin(), running_.end(), [id](const Running& r) {
-    return r.alive && r.job.id == id;
-  });
+void Site::finish_job(std::uint64_t run_token) {
+  const auto it =
+      std::find_if(running_.begin(), running_.end(),
+                   [run_token](const Running& r) { return r.alive && r.run_token == run_token; });
   if (it == running_.end()) return;  // killed by an outage before finishing
   Job job = std::move(it->job);
   running_.erase(it);
   free_procs_ += job.processors;
   job.state = JobState::Completed;
   job.end_time = events_.now();
+  job.consumed_cpu_hours += job.processors * (job.end_time - job.start_time);
+  job.completed_fraction = 1.0;
   busy_proc_hours_ += job.processors * (job.end_time - job.start_time);
   if (on_done_) on_done_(job);
   dispatch();
@@ -141,7 +144,7 @@ void Site::dispatch() {
   // FCFS: start queue heads while they fit.
   while (!queue_.empty()) {
     Job& head = queue_.front();
-    const double duration = head.runtime_hours / spec_.speed;
+    const double duration = head.remaining_hours() / spec_.speed;
     if (!fits_now(head.processors, duration)) break;
     Job job = std::move(head);
     queue_.pop_front();
@@ -153,7 +156,7 @@ void Site::dispatch() {
   // they fit now and finish before the head's shadow time.
   const double shadow = shadow_time(queue_.front());
   for (auto it = queue_.begin() + 1; it != queue_.end();) {
-    const double duration = it->runtime_hours / spec_.speed;
+    const double duration = it->remaining_hours() / spec_.speed;
     if (fits_now(it->processors, duration) && events_.now() + duration <= shadow) {
       Job job = std::move(*it);
       it = queue_.erase(it);
@@ -174,20 +177,39 @@ void Site::fail_job(Job job, const char* reason) {
 
 void Site::fail_until(double until) {
   SPICE_REQUIRE(until > events_.now(), "outage must end in the future");
-  outage_until_ = until;
-  // Kill running jobs.
+  outage_until_ = std::max(outage_until_, until);
+  // Kill running jobs, crediting work up to the last completed checkpoint:
+  // the lost tail beyond it is wasted CPU, the rest shrinks the re-run.
   std::vector<Running> dead;
   dead.swap(running_);
   for (auto& r : dead) {
     free_procs_ += r.job.processors;
-    fail_job(std::move(r.job), "site outage");
+    Job job = std::move(r.job);
+    const double elapsed = events_.now() - job.start_time;
+    double credited_wall = 0.0;
+    if (job.checkpoint_interval_hours > 0.0 && elapsed > 0.0) {
+      credited_wall = std::floor(elapsed / job.checkpoint_interval_hours) *
+                      job.checkpoint_interval_hours;
+    }
+    job.consumed_cpu_hours += job.processors * elapsed;
+    job.wasted_cpu_hours += job.processors * (elapsed - credited_wall);
+    if (credited_wall > 0.0) {
+      job.completed_fraction = std::min(
+          1.0, job.completed_fraction + credited_wall * spec_.speed / job.runtime_hours);
+    }
+    fail_job(std::move(job), "site outage");
   }
-  // Kill queued jobs.
+  // Kill queued jobs (no CPU burned, nothing credited or wasted).
   std::deque<Job> queued;
   queued.swap(queue_);
   for (auto& j : queued) fail_job(std::move(j), "site outage");
-  // Resume dispatching when the outage lifts.
-  events_.at(until, [this] { dispatch(); });
+  // Resume dispatching when the outage lifts. A longer overlapping outage
+  // scheduled later suppresses the earlier recovery.
+  events_.at(until, [this] {
+    if (in_outage()) return;
+    if (on_recovered_) on_recovered_();
+    dispatch();
+  });
 }
 
 }  // namespace spice::grid

@@ -50,8 +50,14 @@ class Site {
   [[nodiscard]] const SiteSpec& spec() const { return spec_; }
   [[nodiscard]] const std::string& name() const { return spec_.name; }
 
+  using RecoveryHandler = std::function<void()>;
+
   /// Called whenever a job reaches Completed or Failed.
   void set_completion_handler(CompletionHandler handler) { on_done_ = std::move(handler); }
+
+  /// Called when an outage lifts and the site is usable again (fires once
+  /// per outage end, suppressed while a longer overlapping outage holds).
+  void set_recovery_handler(RecoveryHandler handler) { on_recovered_ = std::move(handler); }
 
   /// Enqueue a job (state → Queued) and try to dispatch.
   void submit(Job job);
@@ -78,6 +84,10 @@ class Site {
   struct Running {
     Job job;
     double end_time;
+    /// Distinguishes attempts: a job killed by an outage and later
+    /// re-submitted here must not be completed by the first attempt's
+    /// still-pending finish event.
+    std::uint64_t run_token;
     bool alive = true;
   };
 
@@ -89,19 +99,21 @@ class Site {
   /// and reservations (the EASY "shadow time").
   [[nodiscard]] double shadow_time(const Job& head) const;
   void start_job(Job job);
-  void finish_job(JobId id);
+  void finish_job(std::uint64_t run_token);
   void dispatch();
   void fail_job(Job job, const char* reason);
 
   SiteSpec spec_;
   EventQueue& events_;
   CompletionHandler on_done_;
+  RecoveryHandler on_recovered_;
   int free_procs_;
   std::deque<Job> queue_;
   std::vector<Running> running_;
   std::vector<Reservation> reservations_;
   double outage_until_ = -1.0;
   double busy_proc_hours_ = 0.0;
+  std::uint64_t next_run_token_ = 0;
 };
 
 }  // namespace spice::grid

@@ -1,6 +1,7 @@
 #include "spice/campaign.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <memory>
 
@@ -93,11 +94,17 @@ ComboResult run_combo(const spice::pore::TranslocationSystem& master, const Swee
 
   std::vector<spice::smd::PullResult> pulls;
   pulls.reserve(result.samples);
+  // Mix every seed component through SplitMix64 before combining. XOR of
+  // truncated casts is NOT injective: κ values closer than the cast
+  // granularity (0.125 pN/Å) mapped to the same shifted integer and gave
+  // replicas of distinct combos identical trajectories. Hashing the raw
+  // bit patterns keeps any κ/v distinction, however small.
+  std::uint64_t combo_seed = spice::SplitMix64(config.seed).next();
+  combo_seed = spice::SplitMix64(combo_seed ^ std::bit_cast<std::uint64_t>(kappa_pn)).next();
+  combo_seed = spice::SplitMix64(combo_seed ^ std::bit_cast<std::uint64_t>(velocity_ns)).next();
   for (std::size_t r = 0; r < result.samples; ++r) {
     const std::uint64_t replica_seed =
-        spice::SplitMix64(config.seed ^ (static_cast<std::uint64_t>(kappa_pn * 8.0) << 20) ^
-                          (static_cast<std::uint64_t>(velocity_ns * 8.0) << 8) ^ r)
-            .next();
+        spice::SplitMix64(combo_seed ^ static_cast<std::uint64_t>(r)).next();
     pulls.push_back(run_single_pull(master, config, kappa_pn, velocity_ns, replica_seed));
     result.md_steps += pulls.back().steps;
   }

@@ -61,11 +61,22 @@ ProductionExecution execute_on_federation(const ProductionPlan& plan,
     });
   }
 
+  // Seeded fault injection (scheduled outages, random failure processes,
+  // network degradation windows) on top of any single explicit outage.
+  std::optional<spice::grid::FaultInjector> injector;
+  if (options.faults.enabled()) {
+    injector.emplace(federation, options.faults);
+    injector->arm();
+  }
+
   spice::grid::CampaignConfig campaign;
   campaign.jobs = plan.jobs;
   campaign.policy = options.policy;
   campaign.single_site = options.single_site;
   campaign.restrict_grid = options.restrict_to_grid;
+  campaign.retry = options.retry;
+  campaign.checkpoint_interval_hours = options.checkpoint_interval_hours;
+  campaign.completion_floor = options.completion_floor;
 
   spice::grid::Broker broker(federation, campaign);
   // Let queues build up for a few hours so the campaign meets realistic
@@ -84,6 +95,13 @@ ProductionExecution execute_on_federation(const ProductionPlan& plan,
       ++exec.jobs_requeued;
     }
   }
+  exec.checkpoint_restarts = exec.campaign.checkpoint_restarts;
+  exec.held_dispatches = exec.campaign.held_dispatches;
+  exec.credited_cpu_hours = exec.campaign.credited_cpu_hours;
+  exec.wasted_cpu_hours = exec.campaign.wasted_cpu_hours;
+  exec.shortfall = exec.campaign.shortfall();
+  exec.degraded = exec.campaign.degraded();
+  exec.meets_floor = exec.campaign.meets_floor();
   return exec;
 }
 

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "grid/faults.hpp"
 #include "grid/federation.hpp"
 #include "spice/campaign.hpp"
 #include "spice/cost_model.hpp"
@@ -51,6 +52,10 @@ struct ExecutionOptions {
   double horizon_hours = 1000.0;         ///< background-load generation window
   std::uint64_t seed = 11;
   std::optional<SiteOutage> outage;      ///< §V-C.4 scenario
+  spice::grid::FaultConfig faults;       ///< seeded injection (off by default)
+  spice::grid::RetryPolicy retry;        ///< backoff for requeues and holds
+  double checkpoint_interval_hours = 0.0;  ///< 0 = restart from scratch
+  double completion_floor = 1.0;           ///< accept ≥ this fraction of replicas
 };
 
 struct ProductionExecution {
@@ -58,6 +63,13 @@ struct ProductionExecution {
   double makespan_hours = 0.0;
   double makespan_days = 0.0;
   std::size_t jobs_requeued = 0;  ///< jobs that survived a failure
+  std::size_t checkpoint_restarts = 0;  ///< restarts that resumed banked work
+  std::size_t held_dispatches = 0;      ///< dispatch attempts with no usable site
+  double credited_cpu_hours = 0.0;
+  double wasted_cpu_hours = 0.0;
+  std::size_t shortfall = 0;   ///< replicas lost permanently
+  bool degraded = false;       ///< completed under the floor, above zero loss
+  bool meets_floor = true;
 };
 
 /// Run a plan on the paper's federation (build_spice_federation) under the

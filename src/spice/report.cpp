@@ -66,6 +66,23 @@ std::string render_markdown_report(const PipelineReport& report) {
   os << "- makespan: " << production.execution.makespan_days << " days\n";
   os << "- completed: " << production.execution.campaign.completed << ", requeued after "
      << "failures: " << production.execution.jobs_requeued << "\n";
+  const auto& exec = production.execution;
+  os << "- cpu-hours: " << exec.campaign.total_cpu_hours << " consumed, "
+     << exec.credited_cpu_hours << " credited, " << exec.wasted_cpu_hours << " wasted";
+  if (exec.campaign.total_cpu_hours > 0.0) {
+    os << " (efficiency " << 100.0 * exec.credited_cpu_hours / exec.campaign.total_cpu_hours
+       << "%)";
+  }
+  os << "\n";
+  if (exec.held_dispatches > 0 || exec.checkpoint_restarts > 0) {
+    os << "- resilience: " << exec.held_dispatches << " held dispatches, "
+       << exec.checkpoint_restarts << " checkpoint-credited restarts\n";
+  }
+  if (exec.shortfall > 0) {
+    os << "- shortfall: " << exec.shortfall << " replicas lost ("
+       << (exec.meets_floor ? "within" : "BELOW") << " the configured completion floor"
+       << (exec.degraded ? ", degraded campaign" : "") << ")\n";
+  }
   os << "- placement:";
   for (const auto& [site, n] : production.execution.campaign.jobs_per_site) {
     os << " " << site << ":" << n;

@@ -66,6 +66,39 @@ TEST(GridWorkEnsemble, SampledForceReintegrationMatchesForConstantForce) {
   }
 }
 
+TEST(GridWorkEnsemble, SampledForceIgnoresHoldPlateau) {
+  // A pull with a settle phase: the anchor sits at λ = 0 for a while (the
+  // spring still reads a force) and then advances at unit velocity. Work
+  // only accrues while λ moves — W(λ) = F·λ for constant force — so the
+  // plateau must contribute nothing. Integrating F·v̄·dt instead (with v̄
+  // averaged over the WHOLE trajectory, hold included) both counts the
+  // plateau and mis-scales the moving phase.
+  const double force = 2.0;
+  spice::smd::PullResult pull;
+  for (int i = 0; i <= 2; ++i) {  // hold: t = 0, 1, 2 at λ = 0
+    spice::smd::PullSample s;
+    s.time = i;
+    s.lambda = 0.0;
+    s.force = force;
+    pull.samples.push_back(s);
+  }
+  for (int i = 1; i <= 4; ++i) {  // pull: λ = 1..4 at t = 3..6
+    spice::smd::PullSample s;
+    s.time = 2.0 + i;
+    s.lambda = i;
+    s.force = force;
+    pull.samples.push_back(s);
+  }
+  pull.pulled_distance = 4.0;
+  pull.steps = pull.samples.size();
+
+  std::vector<spice::smd::PullResult> pulls{pull};
+  const WorkEnsemble e = grid_work_ensemble(pulls, 4.0, 9, WorkSource::SampledForce);
+  for (std::size_t g = 0; g < e.grid_points(); ++g) {
+    EXPECT_NEAR(e.work[0][g], force * e.lambda[g], 1e-12) << "lambda=" << e.lambda[g];
+  }
+}
+
 // --- estimators on synthetic Gaussian work ----------------------------------------
 
 class GaussianWorkTest : public ::testing::TestWithParam<double> {};
@@ -230,7 +263,9 @@ TEST(ErrorAnalysis, CombinedScoreAndBest) {
   spice::fe::ParameterScore b{.kappa_pn = 100, .velocity_ns = 12.5, .samples = 4,
                               .sigma_stat = 1.0, .sigma_sys = 1.0};
   EXPECT_DOUBLE_EQ(a.combined(), 5.0);
-  const auto& best = best_score({a, b});
+  // Copy: best_score returns a reference into its argument, and the
+  // braced-init temporary vector dies at the end of the statement.
+  const spice::fe::ParameterScore best = best_score({a, b});
   EXPECT_DOUBLE_EQ(best.kappa_pn, 100);
 }
 
@@ -371,6 +406,52 @@ TEST(JarzynskiLiveMd, HarmonicWellPullMatchesAnalyticProfile) {
     const double lambda = est.lambda[g];
     // The pull coordinate ξ starts at the thermal position, not exactly the
     // well centre; allow kT-scale tolerance.
+    EXPECT_NEAR(est.phi[g], 0.5 * k_eff * lambda * lambda, 0.9) << "lambda=" << lambda;
+  }
+}
+
+TEST(JarzynskiLiveMd, SampledForceWithHoldMatchesAnalyticWork) {
+  // Same harmonic-well protocol as above but the work is REINTEGRATED from
+  // the recorded spring forces. The 8 ps hold phase means the λ-based
+  // trapezoid must reproduce the analytic profile; a time-based F·v̄·dt
+  // integral would scale the pull-phase work by t_pull/(t_hold + t_pull)
+  // and accumulate spurious settle-phase work.
+  const double k_well = 2.0;
+  const double kappa_pn = 300.0;
+  const double kappa_internal = units::spring_pn_per_angstrom(kappa_pn);
+  const double k_eff = k_well * kappa_internal / (k_well + kappa_internal);
+
+  std::vector<spice::smd::PullResult> pulls;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    spice::md::Topology topo;
+    topo.add_particle({.mass = 50.0, .charge = 0.0, .radius = 1.0});
+    spice::md::MdConfig cfg;
+    cfg.dt = 0.01;
+    cfg.friction = 2.0;
+    cfg.seed = 2300 + seed;
+    spice::md::Engine engine(std::move(topo), spice::md::NonbondedParams{}, cfg);
+    engine.set_positions(std::vector<Vec3>{{0, 0, 0}});
+    engine.initialize_velocities(300.0);
+
+    auto well = std::make_shared<spice::smd::StaticRestraint>(
+        std::vector<std::uint32_t>{0}, Vec3{0, 0, -1.0}, k_well, 0.0);
+    well->attach_reference({0, 0, 0});
+    engine.add_contribution(well);
+
+    spice::smd::SmdParams params;
+    params.spring_pn_per_angstrom = kappa_pn;
+    params.velocity_angstrom_per_ns = 250.0;
+    params.smd_atoms = {0};
+    params.hold_ps = 8.0;
+    auto pull = std::make_shared<spice::smd::ConstantVelocityPull>(params);
+    pull->attach(engine);
+    engine.add_contribution(pull);
+    pulls.push_back(spice::smd::run_pull(engine, *pull, 3.0, 5));
+  }
+  const WorkEnsemble e = grid_work_ensemble(pulls, 3.0, 7, WorkSource::SampledForce);
+  const PmfEstimate est = estimate_pmf(e, 300.0, Estimator::Exponential);
+  for (std::size_t g = 0; g < est.phi.size(); ++g) {
+    const double lambda = est.lambda[g];
     EXPECT_NEAR(est.phi[g], 0.5 * k_eff * lambda * lambda, 0.9) << "lambda=" << lambda;
   }
 }

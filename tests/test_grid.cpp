@@ -10,6 +10,7 @@
 #include "grid/coordination.hpp"
 #include "grid/coscheduling.hpp"
 #include "grid/des.hpp"
+#include "grid/faults.hpp"
 #include "grid/federation.hpp"
 #include "grid/metrics.hpp"
 #include "grid/site.hpp"
@@ -332,6 +333,265 @@ TEST(Broker, LeastBacklogSurvivesOutageViaRequeue) {
   EXPECT_EQ(r.failed, 0u);
 }
 
+// --- fault tolerance: retries, held jobs, checkpoint credit ------------------------------
+
+TEST(RetryPolicy, BackoffGrowsDeterministicallyWithJitter) {
+  const RetryPolicy p;
+  const double d1 = p.delay_hours(7, 1);
+  const double d2 = p.delay_hours(7, 2);
+  const double d5 = p.delay_hours(7, 5);
+  // Jitter is ±25%, growth ×2: consecutive attempts cannot overlap.
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d5, d2);
+  EXPECT_LE(d5, p.max_backoff_hours * (1.0 + p.jitter_fraction));
+  // Same (job, attempt) → same delay; different job → different jitter.
+  EXPECT_DOUBLE_EQ(p.delay_hours(7, 3), p.delay_hours(7, 3));
+  EXPECT_NE(p.delay_hours(7, 3), p.delay_hours(8, 3));
+}
+
+TEST(Broker, HoldsJobsWhenNoSiteUsableThenDispatchesOnRecovery) {
+  EventQueue events;
+  Federation fed(events);
+  fed.add_site({.name = "Solo", .grid = "G", .processors = 128});
+  fed.find("Solo")->fail_until(5.0);
+  Broker broker(fed, small_campaign(2, BrokerPolicy::LeastBacklog));
+  broker.submit_all();
+  events.run();
+  ASSERT_TRUE(broker.done());
+  const CampaignResult r = broker.result();
+  // Before the held queue these jobs were marked Failed outright.
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_GE(r.held_dispatches, 2u);
+  for (const auto& j : r.finished_jobs) {
+    EXPECT_GE(j.start_time, 5.0) << "nothing can start during the outage";
+  }
+}
+
+TEST(Broker, ImpossibleJobStillFailsFast) {
+  EventQueue events;
+  Federation fed(events);
+  fed.add_site({.name = "Solo", .grid = "G", .processors = 128});
+  CampaignConfig config;
+  config.jobs.push_back(make_job(1, 4096, 1.0));  // larger than every machine
+  Broker broker(fed, config);
+  broker.submit_all();
+  events.run();
+  const CampaignResult r = broker.result();
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_DOUBLE_EQ(r.makespan_hours, 0.0);  // not parked for 100 backoffs
+}
+
+TEST(Broker, CheckpointCreditRerunsOnlyTheLostTail) {
+  EventQueue events;
+  Federation fed(events);
+  fed.add_site({.name = "Solo", .grid = "G", .processors = 128});
+  CampaignConfig config;
+  config.jobs.push_back(make_job(1, 128, 10.0));
+  config.checkpoint_interval_hours = 1.0;
+  Broker broker(fed, config);
+  broker.submit_all();
+  events.at(4.5, [&] { fed.find("Solo")->fail_until(6.5); });
+  events.run();
+  ASSERT_TRUE(broker.done());
+  const CampaignResult r = broker.result();
+  ASSERT_EQ(r.completed, 1u);
+  const Job& j = r.finished_jobs.front();
+  EXPECT_EQ(j.requeues, 1);
+  // First attempt burned 4.5 h, the checkpoint at 4 h is credited; the
+  // re-run (starting the moment the outage lifts) covers only the 6 h tail.
+  EXPECT_DOUBLE_EQ(j.end_time - j.start_time, 6.0);
+  EXPECT_DOUBLE_EQ(j.end_time, 12.5);
+  EXPECT_DOUBLE_EQ(j.consumed_cpu_hours, 128 * (4.5 + 6.0));
+  EXPECT_DOUBLE_EQ(j.wasted_cpu_hours, 128 * 0.5);
+  EXPECT_EQ(r.checkpoint_restarts, 1u);
+  EXPECT_DOUBLE_EQ(r.credited_cpu_hours, 128 * 10.0);
+  EXPECT_DOUBLE_EQ(r.wasted_cpu_hours, 128 * 0.5);
+}
+
+TEST(Broker, CheckpointCreditBeatsFullRestart) {
+  auto run = [](double interval) {
+    EventQueue events;
+    Federation fed(events);
+    fed.add_site({.name = "Solo", .grid = "G", .processors = 128});
+    CampaignConfig config;
+    config.jobs.push_back(make_job(1, 128, 10.0));
+    config.checkpoint_interval_hours = interval;
+    Broker broker(fed, config);
+    broker.submit_all();
+    events.at(4.5, [&] { fed.find("Solo")->fail_until(6.5); });
+    events.run();
+    return broker.result();
+  };
+  const CampaignResult ckpt = run(1.0);
+  const CampaignResult full = run(0.0);
+  EXPECT_LT(ckpt.wasted_cpu_hours, full.wasted_cpu_hours);
+  EXPECT_LT(ckpt.total_cpu_hours, full.total_cpu_hours);
+  EXPECT_LT(ckpt.makespan_hours, full.makespan_hours);
+}
+
+TEST(Broker, RoundRobinRotationUnshiftedByOutage) {
+  EventQueue events;
+  Federation fed(events);
+  fed.add_site({.name = "A", .grid = "G", .processors = 128});
+  fed.add_site({.name = "B", .grid = "G", .processors = 128});
+  fed.add_site({.name = "C", .grid = "G", .processors = 128});
+  Broker broker(fed, small_campaign(3, BrokerPolicy::RoundRobin));
+  broker.submit_all();
+  events.at(1.0, [&] { fed.find("C")->fail_until(100.0); });
+  events.run();
+  const CampaignResult r = broker.result();
+  ASSERT_EQ(r.completed, 3u);
+  auto find = [&](JobId id) -> const Job& {
+    for (const auto& j : r.finished_jobs) {
+      if (j.id == id) return j;
+    }
+    throw std::runtime_error("missing job");
+  };
+  EXPECT_EQ(find(1).site, "A");
+  EXPECT_EQ(find(2).site, "B");
+  // Job 3 died on C. The retry must restart the rotation at A — indexing
+  // modulo the SHRUNKEN usable list {A, B} would skew it onto B.
+  EXPECT_EQ(find(3).requeues, 1);
+  EXPECT_EQ(find(3).site, "A");
+}
+
+TEST(Broker, CompletionFloorRecordsGracefulDegradation) {
+  EventQueue events;
+  Federation fed(events);
+  fed.add_site({.name = "Solo", .grid = "G", .processors = 128});
+  CampaignConfig config;
+  for (JobId i = 1; i <= 4; ++i) config.jobs.push_back(make_job(i, 128, 8.0));
+  config.jobs.push_back(make_job(5, 4096, 1.0));  // infeasible replica
+  config.completion_floor = 0.8;
+  Broker broker(fed, config);
+  broker.submit_all();
+  events.run();
+  CampaignResult r = broker.result();
+  EXPECT_EQ(r.completed, 4u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.shortfall(), 1u);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_TRUE(r.meets_floor());  // 4 of 5 = exactly the floor
+  r.completion_floor = 1.0;
+  EXPECT_FALSE(r.meets_floor());
+}
+
+// --- fault injection ---------------------------------------------------------------------
+
+TEST(FaultInjection, ArmedScheduleIsDeterministic) {
+  auto schedule = [](std::uint64_t seed) {
+    EventQueue events;
+    Federation fed(events);
+    build_spice_federation(fed);
+    FaultConfig config;
+    config.seed = seed;
+    config.site_mtbf_hours = 50.0;
+    config.mean_outage_hours = 3.0;
+    config.horizon_hours = 200.0;
+    FaultInjector injector(fed, config);
+    injector.arm();
+    return injector.outages();
+  };
+  const auto a = schedule(5);
+  const auto b = schedule(5);
+  ASSERT_GT(a.size(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site, b[i].site);
+    EXPECT_EQ(a[i].start_hours, b[i].start_hours);
+    EXPECT_EQ(a[i].duration_hours, b[i].duration_hours);
+  }
+  const auto c = schedule(6);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = c[i].start_hours != a[i].start_hours;
+  }
+  EXPECT_TRUE(differs) << "different seeds must draw different schedules";
+}
+
+TEST(FaultInjection, RejectsBadConfigs) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  FaultConfig unknown;
+  unknown.scheduled.push_back({"Nowhere", 1.0, 2.0});
+  FaultInjector bad_site(fed, unknown);
+  EXPECT_THROW(bad_site.arm(), PreconditionError);
+  FaultConfig zero_duration;
+  zero_duration.scheduled.push_back({"NCSA", 1.0, 0.0});
+  FaultInjector bad_duration(fed, zero_duration);
+  EXPECT_THROW(bad_duration.arm(), PreconditionError);
+}
+
+/// Campaign under a seeded fault load that includes a window in which EVERY
+/// site is down simultaneously (the situation that used to turn jobs into
+/// permanent Failed records at the broker).
+CampaignResult run_faulted_campaign(std::uint64_t fault_seed, double checkpoint_interval) {
+  EventQueue events;
+  Federation fed(events);
+  build_spice_federation(fed);
+  FaultConfig faults;
+  faults.seed = fault_seed;
+  faults.site_mtbf_hours = 60.0;
+  faults.mean_outage_hours = 6.0;
+  faults.horizon_hours = 300.0;
+  for (const auto& site : fed.sites()) {
+    faults.scheduled.push_back({site->name(), 4.0, 25.0});
+  }
+  FaultInjector injector(fed, faults);
+  injector.arm();
+  CampaignConfig config = small_campaign(16, BrokerPolicy::LeastBacklog);
+  config.checkpoint_interval_hours = checkpoint_interval;
+  config.max_requeues = 10;
+  Broker broker(fed, config);
+  broker.submit_all();
+  events.run();
+  EXPECT_TRUE(broker.done());
+  return broker.result();
+}
+
+TEST(FaultInjection, EveryJobSurvivesAnAllSitesOutage) {
+  const CampaignResult r = run_faulted_campaign(77, 1.0);
+  EXPECT_EQ(r.completed, 16u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.shortfall(), 0u);
+  EXPECT_GT(r.held_dispatches, 0u) << "the all-sites window must park jobs";
+  EXPECT_GT(r.checkpoint_restarts, 0u);
+  EXPECT_GT(r.wasted_cpu_hours, 0.0);
+  EXPECT_GT(r.credited_cpu_hours, 0.0);
+  EXPECT_LT(r.wasted_cpu_hours, r.total_cpu_hours);
+}
+
+TEST(FaultInjection, SameFaultSeedReproducesTheCampaignExactly) {
+  const CampaignResult a = run_faulted_campaign(77, 1.0);
+  const CampaignResult b = run_faulted_campaign(77, 1.0);
+  EXPECT_EQ(a.makespan_hours, b.makespan_hours);
+  EXPECT_EQ(a.total_cpu_hours, b.total_cpu_hours);
+  EXPECT_EQ(a.credited_cpu_hours, b.credited_cpu_hours);
+  EXPECT_EQ(a.wasted_cpu_hours, b.wasted_cpu_hours);
+  EXPECT_EQ(a.held_dispatches, b.held_dispatches);
+  EXPECT_EQ(a.checkpoint_restarts, b.checkpoint_restarts);
+  ASSERT_EQ(a.finished_jobs.size(), b.finished_jobs.size());
+  for (std::size_t i = 0; i < a.finished_jobs.size(); ++i) {
+    const Job& x = a.finished_jobs[i];
+    const Job& y = b.finished_jobs[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.site, y.site);
+    EXPECT_EQ(x.state, y.state);
+    EXPECT_EQ(x.requeues, y.requeues);
+    EXPECT_EQ(x.start_time, y.start_time);
+    EXPECT_EQ(x.end_time, y.end_time);
+  }
+}
+
+TEST(FaultInjection, CheckpointCreditReducesWasteUnderSameFaults) {
+  const CampaignResult ckpt = run_faulted_campaign(77, 1.0);
+  const CampaignResult full = run_faulted_campaign(77, 0.0);
+  EXPECT_LT(ckpt.wasted_cpu_hours, full.wasted_cpu_hours);
+  EXPECT_LT(ckpt.total_cpu_hours, full.total_cpu_hours);
+}
+
 // --- co-scheduling ---------------------------------------------------------------------
 
 TEST(CoSchedule, FindsImmediateWindowOnEmptyCalendars) {
@@ -566,6 +826,43 @@ TEST(Metrics, ConcurrencyAndPeak) {
   ASSERT_EQ(timeline.size(), 10u);
   EXPECT_DOUBLE_EQ(timeline.front().time_hours, 0.0);
   EXPECT_DOUBLE_EQ(timeline.back().time_hours, 7.0);
+}
+
+TEST(Metrics, CpuAccountingSeparatesCreditFromWaste) {
+  std::vector<Job> jobs;
+  Job restarted;  // survived one outage, resumed from a 4 h checkpoint
+  restarted.id = 1;
+  restarted.processors = 128;
+  restarted.state = JobState::Completed;
+  restarted.requeues = 1;
+  restarted.start_time = 6.5;
+  restarted.end_time = 12.5;
+  restarted.consumed_cpu_hours = 128 * 10.5;
+  restarted.wasted_cpu_hours = 128 * 0.5;
+  jobs.push_back(restarted);
+  Job clean;
+  clean.id = 2;
+  clean.processors = 64;
+  clean.state = JobState::Completed;
+  clean.start_time = 0.0;
+  clean.end_time = 2.0;
+  clean.consumed_cpu_hours = 64 * 2.0;
+  jobs.push_back(clean);
+  Job dead;  // permanent failure: every burned hour is waste
+  dead.id = 3;
+  dead.processors = 32;
+  dead.state = JobState::Failed;
+  dead.consumed_cpu_hours = 50.0;
+  jobs.push_back(dead);
+
+  const CpuAccounting acc = cpu_accounting(jobs);
+  EXPECT_DOUBLE_EQ(acc.consumed_cpu_hours, 128 * 10.5 + 64 * 2.0 + 50.0);
+  EXPECT_DOUBLE_EQ(acc.credited_cpu_hours, 128 * 10.0 + 64 * 2.0);
+  EXPECT_DOUBLE_EQ(acc.wasted_cpu_hours, 128 * 0.5 + 50.0);
+  EXPECT_EQ(acc.restarted_jobs, 1u);
+  EXPECT_EQ(acc.checkpointed_restarts, 1u);
+  EXPECT_NEAR(acc.efficiency(),
+              (128 * 10.0 + 64 * 2.0) / (128 * 10.5 + 64 * 2.0 + 50.0), 1e-12);
 }
 
 TEST(Metrics, RealCampaignProducesSensibleMetrics) {

@@ -181,6 +181,60 @@ TEST(Network, GatewaySerializesConcurrentFlows) {
   EXPECT_GT(gw->total_queue_delay, 0.4);
 }
 
+TEST(Network, DegradationWindowSlowsDeliveryOnlyInside) {
+  QosSpec qos{.name = "test", .latency_ms = 50.0, .jitter_ms = 0.0, .loss_rate = 0.0,
+              .bandwidth_mbps = 1e5};
+  Network net = make_two_site_net(qos);
+  net.add_degradation_window({.start_s = 10.0, .end_s = 20.0, .latency_factor = 4.0});
+  const auto us = net.add_host("sim", "US");
+  const auto uk = net.add_host("viz", "UK");
+  const auto before = net.send(0.0, us, uk, 100.0);
+  const auto inside = net.send(15.0, us, uk, 100.0);
+  const auto after = net.send(30.0, us, uk, 100.0);
+  EXPECT_NEAR(before.deliver_at - 0.0, 0.050, 1e-6);
+  EXPECT_NEAR(inside.deliver_at - 15.0, 0.200, 1e-6);  // latency × 4
+  EXPECT_NEAR(after.deliver_at - 30.0, 0.050, 1e-6);
+}
+
+TEST(Network, OverlappingDegradationWindowsStack) {
+  QosSpec qos{.name = "test", .latency_ms = 10.0, .jitter_ms = 0.0, .loss_rate = 0.0,
+              .bandwidth_mbps = 1e5};
+  Network net = make_two_site_net(qos);
+  net.add_degradation_window({.start_s = 0.0, .end_s = 100.0, .latency_factor = 2.0});
+  net.add_degradation_window({.start_s = 50.0, .end_s = 100.0, .latency_factor = 3.0});
+  const auto us = net.add_host("sim", "US");
+  const auto uk = net.add_host("viz", "UK");
+  EXPECT_NEAR(net.send(10.0, us, uk, 100.0).deliver_at - 10.0, 0.020, 1e-6);
+  EXPECT_NEAR(net.send(60.0, us, uk, 100.0).deliver_at - 60.0, 0.060, 1e-6);
+}
+
+TEST(Network, DegradationWindowAddsLoss) {
+  QosSpec qos{.name = "clean", .latency_ms = 10.0, .jitter_ms = 0.0, .loss_rate = 0.0,
+              .bandwidth_mbps = 1e5};
+  Network degraded = make_two_site_net(qos, 5);
+  degraded.add_degradation_window({.start_s = 0.0, .end_s = 1e9, .loss_add = 0.5});
+  Network clean = make_two_site_net(qos, 5);
+  const auto a = degraded.add_host("sim", "US");
+  const auto b = degraded.add_host("viz", "UK");
+  const auto ca = clean.add_host("sim", "US");
+  const auto cb = clean.add_host("viz", "UK");
+  for (int i = 0; i < 400; ++i) {
+    degraded.send(i * 1.0, a, b, 100.0);
+    clean.send(i * 1.0, ca, cb, 100.0);
+  }
+  EXPECT_EQ(clean.stats().losses, 0u);
+  EXPECT_GT(degraded.stats().losses, 100u);
+}
+
+TEST(Network, RejectsMalformedDegradationWindows) {
+  Network net = make_two_site_net(lightpath_transatlantic());
+  EXPECT_THROW(net.add_degradation_window({.start_s = 5.0, .end_s = 5.0}), PreconditionError);
+  EXPECT_THROW(net.add_degradation_window({.start_s = 0.0, .end_s = 1.0, .latency_factor = 0.5}),
+               PreconditionError);
+  EXPECT_THROW(net.add_degradation_window({.start_s = 0.0, .end_s = 1.0, .loss_add = -0.1}),
+               PreconditionError);
+}
+
 TEST(Network, StatsAccumulate) {
   Network net = make_two_site_net(lightpath_transatlantic());
   const auto us = net.add_host("a", "US");
