@@ -1,0 +1,17 @@
+#pragma once
+// Minimal JSON validator (RFC 8259 subset, no DOM). The repo emits JSON in
+// several places (bench result files, viz::Table::write_json, obs trace
+// files); tests and benches parse the output back through this to prove
+// the emitters produce well-formed documents rather than JSON-shaped text.
+
+#include <string>
+#include <string_view>
+
+namespace spice {
+
+/// Strict validation of a complete JSON document (single top-level value,
+/// only whitespace around it). On failure returns false and, when `error`
+/// is non-null, stores a message with the byte offset of the problem.
+[[nodiscard]] bool json_is_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace spice

@@ -1,6 +1,7 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -8,6 +9,7 @@ namespace spice {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::atomic<LogSink> g_sink{nullptr};
 std::mutex g_log_mutex;
 
 const char* level_name(LogLevel level) {
@@ -25,15 +27,44 @@ const char* level_name(LogLevel level) {
   }
   return "?????";
 }
+
+std::chrono::steady_clock::time_point process_anchor() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return anchor;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+double uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - process_anchor())
+      .count();
+}
+
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void set_log_sink(LogSink sink) { g_sink.store(sink, std::memory_order_release); }
+
 void log_message(LogLevel level, const std::string& message) {
-  std::lock_guard lock(g_log_mutex);
-  std::fprintf(stderr, "[spice %s] %s\n", level_name(level), message.c_str());
+  const double uptime = uptime_seconds();
+  const std::uint32_t thread = thread_index();
+  {
+    // One serialized, atomic-at-the-line-level write: worker threads
+    // logging concurrently produce whole lines, never interleaved shards.
+    std::lock_guard lock(g_log_mutex);
+    std::fprintf(stderr, "[spice %s +%.3fs T%02u] %s\n", level_name(level), uptime, thread,
+                 message.c_str());
+  }
+  if (const LogSink sink = g_sink.load(std::memory_order_acquire)) {
+    sink(level, message, uptime, thread);
+  }
 }
 
 }  // namespace spice

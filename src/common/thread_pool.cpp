@@ -1,8 +1,23 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/instrument.hpp"
 
 namespace spice {
+
+namespace {
+std::atomic<const PoolInstrumentation*> g_pool_instrumentation{nullptr};
+}  // namespace
+
+void set_pool_instrumentation(const PoolInstrumentation* hooks) {
+  g_pool_instrumentation.store(hooks, std::memory_order_release);
+}
+
+const PoolInstrumentation* pool_instrumentation() {
+  return g_pool_instrumentation.load(std::memory_order_acquire);
+}
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -31,12 +46,18 @@ void ThreadPool::worker_loop() {
       task = queue_.back();
       queue_.pop_back();
     }
+    // duration_us is only non-null when the dispatching parallel_for saw
+    // installed+enabled hooks, so the clock pointer is valid here.
+    const PoolInstrumentation* inst =
+        task.duration_us != nullptr ? pool_instrumentation() : nullptr;
+    const double start_us = inst != nullptr ? inst->now_us() : 0.0;
     try {
       (*task.fn)(task.begin, task.end);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    if (inst != nullptr) *task.duration_us = inst->now_us() - start_us;
     {
       std::lock_guard lock(mutex_);
       --outstanding_;
@@ -47,12 +68,19 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
+  // An empty range dispatches nothing — no queue traffic, no wakeups, fn
+  // is never invoked.
   if (n == 0) return;
   const std::size_t chunks = std::min(n, workers_.size() + 1);
   if (chunks == 1) {
+    // Single-range inline path: runs on the caller, nothing is queued.
     fn(0, n);
     return;
   }
+  const PoolInstrumentation* inst = pool_instrumentation();
+  if (inst != nullptr && !inst->enabled()) inst = nullptr;
+  std::vector<double> durations_us;
+  if (inst != nullptr) durations_us.assign(chunks, 0.0);
   const std::size_t base = n / chunks;
   const std::size_t extra = n % chunks;
   // Static partition: chunk i gets base (+1 for the first `extra` chunks).
@@ -61,7 +89,7 @@ void ThreadPool::parallel_for(std::size_t n,
   std::size_t begin = 0;
   for (std::size_t i = 0; i < chunks; ++i) {
     const std::size_t len = base + (i < extra ? 1 : 0);
-    tasks.push_back(Task{&fn, begin, begin + len});
+    tasks.push_back(Task{&fn, begin, begin + len, inst != nullptr ? &durations_us[i] : nullptr});
     begin += len;
   }
   // Last chunk runs on the caller; the rest go to the pool.
@@ -73,12 +101,14 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   work_ready_.notify_all();
   const Task& mine = tasks.back();
+  const double my_start_us = inst != nullptr ? inst->now_us() : 0.0;
   try {
     fn(mine.begin, mine.end);
   } catch (...) {
     std::lock_guard lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  if (inst != nullptr) durations_us.back() = inst->now_us() - my_start_us;
   {
     std::unique_lock lock(mutex_);
     work_done_.wait(lock, [this] { return outstanding_ == 0; });
@@ -89,6 +119,9 @@ void ThreadPool::parallel_for(std::size_t n,
       std::rethrow_exception(err);
     }
   }
+  // Every durations_us slot was written by exactly one thread and the
+  // completion barrier above ordered those writes before this read.
+  if (inst != nullptr) inst->record(chunks, durations_us.data());
 }
 
 }  // namespace spice

@@ -40,6 +40,11 @@ class ThreadPool {
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t begin = 0;
     std::size_t end = 0;
+    /// When non-null (obs metrics enabled for this call), the executing
+    /// worker stores the chunk's wall time here, in µs. Each slot is
+    /// written by exactly one worker and read by the caller only after the
+    /// completion barrier, so no synchronization beyond the pool's own.
+    double* duration_us = nullptr;
   };
 
   void worker_loop();

@@ -1,6 +1,7 @@
 #include "grid/des.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace spice::grid {
 
@@ -18,6 +19,10 @@ bool EventQueue::step() {
   events_.pop();
   now_ = e.time;
   ++processed_;
+  {
+    static obs::Counter& dispatched = obs::metrics().counter("grid.des.events");
+    dispatched.add(1);
+  }
   e.handler();
   return true;
 }

@@ -10,11 +10,21 @@
 #include <queue>
 #include <vector>
 
+namespace spice::obs {
+class Tracer;
+}
+
 namespace spice::grid {
 
 class EventQueue {
  public:
   using Handler = std::function<void()>;
+
+  /// Attach a tracer recording the VIRTUAL timeline: sites and the broker
+  /// emit spans with ts = now() × obs::kTraceUsPerHour, so one simulated
+  /// hour renders as one hour in Perfetto. Not owned; nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
   /// Schedule `handler` at absolute time `t` (hours). Must not be in the
   /// past relative to now().
@@ -51,6 +61,7 @@ class EventQueue {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> events_;
+  obs::Tracer* tracer_ = nullptr;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -6,8 +6,20 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace spice::grid {
+
+namespace {
+double sim_us(double hours) { return hours * obs::kTraceUsPerHour; }
+}  // namespace
+
+std::uint32_t Broker::trace_track() {
+  obs::Tracer* tracer = federation_.events().tracer();
+  if (tracer == nullptr) return 0;
+  if (trace_track_ == 0) trace_track_ = tracer->new_track("broker");
+  return trace_track_;
+}
 
 Site& Federation::add_site(const SiteSpec& spec) {
   SPICE_REQUIRE(find(spec.name) == nullptr, "duplicate site name: " + spec.name);
@@ -143,6 +155,10 @@ bool Broker::feasible_somewhere(const Job& job) const {
 }
 
 void Broker::dispatch(Job job, const std::string& exclude) {
+  {
+    static obs::Counter& dispatches = obs::metrics().counter("grid.broker.dispatches");
+    dispatches.add(1);
+  }
   Site* site = choose_site(job, exclude);
   if (site == nullptr) {
     // No site can take it RIGHT NOW. If some site could ever run it, park
@@ -156,6 +172,11 @@ void Broker::dispatch(Job job, const std::string& exclude) {
     return;
   }
   if (job.completed_fraction > 0.0) result_.checkpoint_restarts += 1;
+  if (obs::Tracer* tracer = federation_.events().tracer()) {
+    tracer->instant(job.name, "grid.broker.dispatch",
+                    sim_us(federation_.events().now()), trace_track(),
+                    "-> " + site->name());
+  }
   site->submit(std::move(job));
 }
 
@@ -170,6 +191,18 @@ void Broker::hold(Job job) {
   job.site.clear();
   const JobId id = job.id;
   const double delay = config_.retry.delay_hours(id, job.requeues + job.holds);
+  {
+    static obs::Counter& holds = obs::metrics().counter("grid.broker.holds");
+    holds.add(1);
+  }
+  // Async span over the park: begin here, end where the job leaves held_
+  // (backoff timer or site recovery). Paired by (category, id); the hold
+  // count disambiguates repeated parks of the same job.
+  if (obs::Tracer* tracer = federation_.events().tracer()) {
+    tracer->async_begin(job.name + " (held)", "grid.broker.held",
+                        (id << 8) | static_cast<std::uint64_t>(job.holds & 0xff),
+                        sim_us(federation_.events().now()), trace_track());
+  }
   held_.push_back(std::move(job));
   federation_.events().after(delay, [this, id] { retry_held(id); });
 }
@@ -180,18 +213,37 @@ void Broker::retry_held(JobId id) {
   if (it == held_.end()) return;  // already released by a site recovery
   Job job = std::move(*it);
   held_.erase(it);
+  end_held_span(job);
   dispatch(std::move(job), "");
 }
 
 void Broker::release_held() {
   std::vector<Job> parked;
   parked.swap(held_);
-  for (auto& job : parked) dispatch(std::move(job), "");
+  for (auto& job : parked) {
+    end_held_span(job);
+    dispatch(std::move(job), "");
+  }
+}
+
+void Broker::end_held_span(const Job& job) {
+  if (obs::Tracer* tracer = federation_.events().tracer()) {
+    tracer->async_end(job.name + " (held)", "grid.broker.held",
+                      (job.id << 8) | static_cast<std::uint64_t>(job.holds & 0xff),
+                      sim_us(federation_.events().now()), trace_track());
+  }
 }
 
 void Broker::fail_permanently(Job job) {
   job.state = JobState::Failed;
   job.end_time = federation_.events().now();
+  {
+    static obs::Counter& failures = obs::metrics().counter("grid.broker.permanent_failures");
+    failures.add(1);
+  }
+  if (obs::Tracer* tracer = federation_.events().tracer()) {
+    tracer->instant(job.name, "grid.broker.gave_up", sim_us(job.end_time), trace_track());
+  }
   result_.failed += 1;
   // Everything a permanently failed job burned is wasted: its checkpoints
   // are never resumed.
@@ -228,6 +280,10 @@ void Broker::on_job_done(const Job& job) {
   if (retry.requeues >= config_.max_requeues) {
     fail_permanently(std::move(retry));
     return;
+  }
+  {
+    static obs::Counter& requeues = obs::metrics().counter("grid.broker.requeues");
+    requeues.add(1);
   }
   retry.requeues += 1;
   retry.state = JobState::Pending;

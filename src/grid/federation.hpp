@@ -141,8 +141,11 @@ class Broker {
   void hold(Job job);
   void retry_held(JobId id);   ///< backoff-timer path out of the held queue
   void release_held();         ///< recovery path: re-dispatch everything held
+  void end_held_span(const Job& job);  ///< close the trace span of a park
   void fail_permanently(Job job);
   void on_job_done(const Job& job);
+  /// Broker decisions track on the queue's virtual-clock tracer (0 = none).
+  [[nodiscard]] std::uint32_t trace_track();
 
   Federation& federation_;
   CampaignConfig config_;
@@ -151,6 +154,7 @@ class Broker {
   std::size_t outstanding_ = 0;
   std::size_t round_robin_next_ = 0;
   bool submitted_ = false;
+  std::uint32_t trace_track_ = 0;
 };
 
 /// The federated US–UK grid of the paper's Fig. 5: TeraGrid nodes (NCSA,

@@ -4,8 +4,21 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace spice::grid {
+
+namespace {
+/// Simulation hours → trace µs on the virtual timeline.
+double sim_us(double hours) { return hours * obs::kTraceUsPerHour; }
+}  // namespace
+
+std::uint32_t Site::trace_track() {
+  obs::Tracer* tracer = events_.tracer();
+  if (tracer == nullptr) return 0;
+  if (trace_track_ == 0) trace_track_ = tracer->new_track("site " + spec_.name);
+  return trace_track_;
+}
 
 Site::Site(SiteSpec spec, EventQueue& events)
     : spec_(std::move(spec)), events_(events), free_procs_(spec_.processors) {
@@ -114,6 +127,12 @@ void Site::start_job(Job job) {
   const double duration = job.remaining_hours() / spec_.speed;
   job.state = JobState::Running;
   job.start_time = events_.now();
+  // The queued wait is fully known here; emit it retroactively so the
+  // Gantt chart shows wait and run back to back on the site's row.
+  if (obs::Tracer* tracer = events_.tracer()) {
+    tracer->complete(job.name + " (queued)", "grid.job.queued", sim_us(job.submit_time),
+                     sim_us(job.start_time - job.submit_time), trace_track());
+  }
   free_procs_ -= job.processors;
   SPICE_ENSURE(free_procs_ >= 0, "site over-subscribed");
   const std::uint64_t token = next_run_token_++;
@@ -135,6 +154,15 @@ void Site::finish_job(std::uint64_t run_token) {
   job.consumed_cpu_hours += job.processors * (job.end_time - job.start_time);
   job.completed_fraction = 1.0;
   busy_proc_hours_ += job.processors * (job.end_time - job.start_time);
+  {
+    static obs::Counter& completed = obs::metrics().counter("grid.site.jobs_completed");
+    completed.add(1);
+  }
+  if (obs::Tracer* tracer = events_.tracer()) {
+    tracer->complete(job.name, "grid.job.run", sim_us(job.start_time),
+                     sim_us(job.end_time - job.start_time), trace_track(),
+                     std::to_string(job.processors) + " procs");
+  }
   if (on_done_) on_done_(job);
   dispatch();
 }
@@ -168,16 +196,40 @@ void Site::dispatch() {
 }
 
 void Site::fail_job(Job job, const char* reason) {
+  const bool was_running = job.state == JobState::Running;
   job.state = JobState::Failed;
   job.end_time = events_.now();
   job.site = spec_.name;
   job.name += std::string(" [") + reason + "]";
+  {
+    static obs::Counter& failed = obs::metrics().counter("grid.site.jobs_failed");
+    failed.add(1);
+  }
+  if (obs::Tracer* tracer = events_.tracer()) {
+    // A job killed mid-run still gets its partial run on the timeline.
+    if (was_running && job.end_time > job.start_time) {
+      tracer->complete(job.name, "grid.job.failed", sim_us(job.start_time),
+                       sim_us(job.end_time - job.start_time), trace_track(), reason);
+    } else {
+      tracer->instant(job.name, "grid.job.failed", sim_us(job.end_time), trace_track(),
+                      reason);
+    }
+  }
   if (on_done_) on_done_(job);
 }
 
 void Site::fail_until(double until) {
   SPICE_REQUIRE(until > events_.now(), "outage must end in the future");
   outage_until_ = std::max(outage_until_, until);
+  {
+    static obs::Counter& outages = obs::metrics().counter("grid.site.outages");
+    outages.add(1);
+  }
+  // Forward-dated: the whole outage window is known at onset.
+  if (obs::Tracer* tracer = events_.tracer()) {
+    tracer->complete("outage", "grid.site.outage", sim_us(events_.now()),
+                     sim_us(until - events_.now()), trace_track());
+  }
   // Kill running jobs, crediting work up to the last completed checkpoint:
   // the lost tail beyond it is wasted CPU, the rest shrinks the re-run.
   std::vector<Running> dead;

@@ -102,6 +102,9 @@ class Site {
   void finish_job(std::uint64_t run_token);
   void dispatch();
   void fail_job(Job job, const char* reason);
+  /// This site's track on the event queue's virtual-clock tracer (lazily
+  /// allocated and named after the site); 0 when no tracer is attached.
+  [[nodiscard]] std::uint32_t trace_track();
 
   SiteSpec spec_;
   EventQueue& events_;
@@ -114,6 +117,7 @@ class Site {
   double outage_until_ = -1.0;
   double busy_proc_hours_ = 0.0;
   std::uint64_t next_run_token_ = 0;
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace spice::grid

@@ -1,6 +1,7 @@
 #include "md/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "common/serialize.hpp"
 #include "common/units.hpp"
+#include "obs/obs.hpp"
 
 namespace spice::md {
 
@@ -92,6 +94,23 @@ void Engine::remove_contribution(const ForceContribution* contribution) {
 }
 
 void Engine::evaluate_forces_kernels() {
+  SPICE_TRACE_SCOPE_CAT("md.force_eval", "md");
+  {
+    static obs::Counter& evals = obs::metrics().counter("md.engine.force_evals");
+    evals.add(1);
+  }
+  // Phase boundaries are timestamped only while a tracer is installed; a
+  // clock read never touches simulation state, so trajectories stay
+  // bit-identical with tracing on (test_md_determinism locks this in).
+  obs::Tracer* tracer = obs::tracing_on() ? obs::process_tracer() : nullptr;
+  double phase_start_us = tracer != nullptr ? obs::now_us() : 0.0;
+  const auto end_phase = [&](const char* name) {
+    if (tracer == nullptr) return;
+    const double now = obs::now_us();
+    tracer->complete(name, "md", phase_start_us, now - phase_start_us, obs::thread_track());
+    phase_start_us = now;
+  };
+
   // Serial phase: sync the AoS position view once (kernels and
   // contributions read it concurrently afterwards), refresh the neighbour
   // list, run per-kernel and per-contribution serial hooks.
@@ -108,13 +127,35 @@ void Engine::evaluate_forces_kernels() {
   for (std::size_t c = 0; c < contributions_.size(); ++c) {
     external_base_[c] = contributions_[c]->begin_evaluation(xs, topology_, time_);
   }
+  end_phase("md.force_eval.prepare");
+
+  // Per-kernel time attribution is opt-in (obs detail mode): 16 slices × 4
+  // kernels × 2 clock reads per evaluation is measurable on small systems,
+  // so the base tracing tier skips it.
+  const bool detail = obs::detail_on();
+  std::vector<obs::Counter*> kernel_ns;
+  if (detail) {
+    kernel_ns.reserve(kernels_.size());
+    for (const auto& k : kernels_) {
+      kernel_ns.push_back(
+          &obs::metrics().counter("md.kernel." + std::string(k->name()) + ".ns"));
+    }
+  }
 
   // Parallel phase: fixed slice count regardless of thread count.
   auto run_slices = [&](std::size_t begin, std::size_t end) {
+    // Chunk-local per-kernel time, flushed once per chunk so the counters
+    // see one add per kernel instead of one per slice.
+    std::array<double, 8> chunk_kernel_us{};
     for (std::size_t s = begin; s < end; ++s) {
       ForceAccumulator& acc = workspace_.acquire_slice(s);
-      for (const auto& k : kernels_) {
-        workspace_.energy(s, k->term()) += k->evaluate_slice(ctx, s, kForceSlices, acc);
+      for (std::size_t ki = 0; ki < kernels_.size(); ++ki) {
+        const double k0 = detail ? obs::now_us() : 0.0;
+        workspace_.energy(s, kernels_[ki]->term()) +=
+            kernels_[ki]->evaluate_slice(ctx, s, kForceSlices, acc);
+        if (detail && ki < chunk_kernel_us.size()) {
+          chunk_kernel_us[ki] += obs::now_us() - k0;
+        }
       }
       if (!contributions_.empty()) {
         const std::size_t lo = n * s / kForceSlices;
@@ -126,15 +167,22 @@ void Engine::evaluate_forces_kernels() {
         }
       }
     }
+    if (detail) {
+      for (std::size_t ki = 0; ki < kernel_ns.size() && ki < chunk_kernel_us.size(); ++ki) {
+        kernel_ns[ki]->add(static_cast<std::uint64_t>(chunk_kernel_us[ki] * 1e3));
+      }
+    }
   };
   if (pool_) {
     pool_->parallel_for(kForceSlices, run_slices);
   } else {
     run_slices(0, kForceSlices);
   }
+  end_phase("md.force_eval.parallel");
 
   // Deterministic reduction: ascending slice order per particle / term.
   workspace_.reduce_forces(state_.fx(), state_.fy(), state_.fz(), pool_.get());
+  end_phase("md.force_eval.reduce");
 
   energies_ = EnergyBreakdown{};
   energies_.bond = workspace_.reduced_energy(EnergyTerm::Bond);
@@ -279,7 +327,9 @@ double Engine::instantaneous_temperature() const {
 }
 
 void Engine::step(std::size_t n) {
+  static obs::Counter& steps = obs::metrics().counter("md.engine.steps");
   for (std::size_t s = 0; s < n; ++s) {
+    steps.add(1);
     switch (config_.integrator) {
       case IntegratorKind::VelocityVerlet:
         step_velocity_verlet();

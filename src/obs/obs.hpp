@@ -1,0 +1,13 @@
+#pragma once
+// spice::obs — the unified observability subsystem (DESIGN.md §8).
+//
+// One include gives instrumented code the whole surface:
+//   * obs::metrics()           process-wide counters / gauges / histograms
+//   * SPICE_TRACE_SCOPE(...)   wall-clock spans on the process tracer
+//   * obs::Tracer              Chrome trace-event sink (real or DES clock)
+//   * obs::set_*_enabled(...)  runtime kill switches (all default OFF)
+//
+// Build with -DSPICE_OBS=OFF to compile the instrumentation out entirely.
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,203 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace spice::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_process_tracer{nullptr};
+
+/// Escape a string for a JSON literal (control chars, quotes, backslash).
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Log records become instant events on the process tracer while one is
+/// installed (common/log's sink hook points here).
+void log_to_trace(LogLevel level, const std::string& message, double uptime_s,
+                  std::uint32_t thread) {
+  if (!tracing_on()) return;
+  Tracer* tracer = process_tracer();
+  if (tracer == nullptr) return;
+  const char* category = level >= LogLevel::Warn ? "log.warn" : "log";
+  tracer->instant(message, category, uptime_s * 1e6, thread);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::string process_name) : process_name_(std::move(process_name)) {
+  track_names_.resize(1);  // track 0: default
+}
+
+std::uint32_t Tracer::new_track(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  const std::uint32_t track = next_track_++;
+  if (track_names_.size() <= track) track_names_.resize(track + 1);
+  track_names_[track] = name;
+  return track;
+}
+
+void Tracer::set_track_name(std::uint32_t track, const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (track_names_.size() <= track) track_names_.resize(track + 1);
+  track_names_[track] = name;
+  next_track_ = std::max(next_track_, track + 1);
+}
+
+void Tracer::push(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  if (event_limit_ != 0 && events_.size() >= event_limit_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::set_event_limit(std::size_t max_events) {
+  std::lock_guard lock(mutex_);
+  event_limit_ = max_events;
+}
+
+std::size_t Tracer::dropped_count() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::complete(std::string_view name, std::string_view category, double ts_us,
+                      double dur_us, std::uint32_t track, std::string_view detail) {
+  push(TraceEvent{std::string(name), std::string(category), 'X', ts_us, dur_us, track, 0,
+                  0.0, std::string(detail)});
+}
+
+void Tracer::instant(std::string_view name, std::string_view category, double ts_us,
+                     std::uint32_t track, std::string_view detail) {
+  push(TraceEvent{std::string(name), std::string(category), 'i', ts_us, 0.0, track, 0, 0.0,
+                  std::string(detail)});
+}
+
+void Tracer::async_begin(std::string_view name, std::string_view category, std::uint64_t id,
+                         double ts_us, std::uint32_t track, std::string_view detail) {
+  push(TraceEvent{std::string(name), std::string(category), 'b', ts_us, 0.0, track, id, 0.0,
+                  std::string(detail)});
+}
+
+void Tracer::async_end(std::string_view name, std::string_view category, std::uint64_t id,
+                       double ts_us, std::uint32_t track) {
+  push(TraceEvent{std::string(name), std::string(category), 'e', ts_us, 0.0, track, id, 0.0,
+                  {}});
+}
+
+void Tracer::counter(std::string_view name, double ts_us, double value, std::uint32_t track) {
+  push(TraceEvent{std::string(name), "counter", 'C', ts_us, 0.0, track, 0, value, {}});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Metadata: process name + every named track.
+  sep();
+  os << R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":)";
+  write_json_string(os, process_name_);
+  os << "}}";
+  for (std::uint32_t t = 0; t < track_names_.size(); ++t) {
+    if (track_names_[t].empty()) continue;
+    sep();
+    os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << t << R"(,"args":{"name":)";
+    write_json_string(os, track_names_[t]);
+    os << "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"cat\":";
+    write_json_string(os, e.category);
+    os << ",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":"
+       << e.track;
+    if (e.phase == 'X') os << ",\"dur\":" << e.dur_us;
+    if (e.phase == 'b' || e.phase == 'e') os << ",\"id\":" << e.id;
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (e.phase == 'C') {
+      os << ",\"args\":{\"value\":" << e.value << "}";
+    } else if (!e.detail.empty()) {
+      os << ",\"args\":{\"detail\":";
+      write_json_string(os, e.detail);
+      os << "}";
+    }
+    os << "}";
+  }
+  if (dropped_ > 0) {
+    sep();
+    os << R"({"name":"trace buffer full: )" << dropped_
+       << R"( events dropped","cat":"obs","ph":"i","ts":0,"pid":1,"tid":0,"s":"g"})";
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::save(const std::string& path) const {
+  std::ofstream file(path);
+  SPICE_REQUIRE(file.is_open(), "could not open trace output: " + path);
+  write_json(file);
+  file.flush();
+  SPICE_REQUIRE(file.good(), "write failed for trace output: " + path);
+}
+
+void set_process_tracer(Tracer* tracer) {
+  g_process_tracer.store(tracer, std::memory_order_release);
+  // Route (or stop routing) SPICE_LOG records into the trace.
+  set_log_sink(tracer != nullptr ? &log_to_trace : nullptr);
+}
+
+Tracer* process_tracer() { return g_process_tracer.load(std::memory_order_acquire); }
+
+std::uint32_t thread_track() { return thread_index(); }
+
+}  // namespace spice::obs

@@ -1,0 +1,176 @@
+#pragma once
+// spice::obs — span tracer with Chrome trace-event JSON export.
+//
+// A Tracer is a sink of timestamped events serializable to the Chrome
+// trace-event format (chrome://tracing, https://ui.perfetto.dev). Two
+// clock domains share the one event model:
+//
+//   * Real wall-clock: instrumented code wraps work in
+//     SPICE_TRACE_SCOPE("md.force_eval") — an RAII span recorded against
+//     the process tracer with obs::now_us() timestamps, one track per
+//     thread. Explicit async_begin/async_end cover spans that cross
+//     scopes (a held grid job, an in-flight frame).
+//
+//   * Virtual (DES) clock: the grid substrate passes explicit timestamps
+//     in trace µs (sim-hours × kTraceUsPerHour) and one track per site,
+//     so a federated campaign renders as a Gantt chart of queued/running
+//     job spans on the simulated timeline.
+//
+// Event emission takes the tracer mutex — spans in the MD hot path are
+// per-evaluation (a handful of events), never per-particle. When tracing
+// is disabled SPICE_TRACE_SCOPE costs one relaxed flag load.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // kill switches + now_us
+
+namespace spice::obs {
+
+/// One simulated hour on the virtual timeline maps to its real number of
+/// microseconds, so Perfetto's time axis reads directly as simulated time.
+inline constexpr double kTraceUsPerHour = 3.6e9;
+
+/// One Chrome trace event. `phase` uses the format's single-letter codes:
+/// 'X' complete (ts + dur), 'i' instant, 'b'/'e' async begin/end paired by
+/// (category, id), 'C' counter (value plotted as a track).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;      ///< 'X' only
+  std::uint32_t track = 0;  ///< rendered as the tid row
+  std::uint64_t id = 0;     ///< 'b'/'e' pairing key
+  double value = 0.0;       ///< 'C' only
+  std::string detail;       ///< optional args.detail annotation
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::string process_name = "spice");
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Allocate a new track (a tid row in the viewer) with a display name.
+  [[nodiscard]] std::uint32_t new_track(const std::string& name);
+  void set_track_name(std::uint32_t track, const std::string& name);
+
+  /// Completed span [ts, ts+dur) — usable retroactively: DES code emits
+  /// the whole span once the end is known.
+  void complete(std::string_view name, std::string_view category, double ts_us,
+                double dur_us, std::uint32_t track, std::string_view detail = {});
+  /// Zero-duration marker.
+  void instant(std::string_view name, std::string_view category, double ts_us,
+               std::uint32_t track, std::string_view detail = {});
+  /// Async span: begin/end may come from different scopes (even different
+  /// tracks); the viewer pairs them by (category, id).
+  void async_begin(std::string_view name, std::string_view category, std::uint64_t id,
+                   double ts_us, std::uint32_t track, std::string_view detail = {});
+  void async_end(std::string_view name, std::string_view category, std::uint64_t id,
+                 double ts_us, std::uint32_t track);
+  /// Sampled value rendered as its own counter track.
+  void counter(std::string_view name, double ts_us, double value, std::uint32_t track = 0);
+
+  /// Cap the event buffer: once `max_events` are recorded, further events
+  /// are counted in dropped_count() but not stored (first-N retention —
+  /// long sessions keep their startup and steady-state onset rather than
+  /// an arbitrary recent window). 0 = unlimited (the default).
+  void set_event_limit(std::size_t max_events);
+  [[nodiscard]] std::size_t dropped_count() const;
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Copy of the recorded events (tests; order = emission order).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Serialize as Chrome trace-event JSON ({"traceEvents": [...]}).
+  void write_json(std::ostream& os) const;
+  /// write_json to a file; throws with the failing path on I/O error.
+  void save(const std::string& path) const;
+
+ private:
+  void push(TraceEvent event);
+
+  mutable std::mutex mutex_;
+  std::string process_name_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> track_names_;  ///< index = track id
+  std::uint32_t next_track_ = 1;          ///< 0 = default/unnamed track
+  std::size_t event_limit_ = 0;           ///< 0 = unlimited
+  std::size_t dropped_ = 0;
+};
+
+// --- process tracer -------------------------------------------------------
+
+/// Install the wall-clock tracer instrumented library code records into
+/// (nullptr uninstalls). Also bridges SPICE_LOG records into the tracer as
+/// instant events while installed. Not owned.
+void set_process_tracer(Tracer* tracer);
+[[nodiscard]] Tracer* process_tracer();
+
+/// The calling thread's track id on the process tracer (dense small ints,
+/// same numbering as log.hpp's thread_index()).
+[[nodiscard]] std::uint32_t thread_track();
+
+/// RAII wall-clock span against the process tracer. Near-free when
+/// tracing is off; compiled out entirely with SPICE_OBS=OFF.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const char* name, const char* category = "app") {
+    if (!tracing_on()) return;
+    tracer_ = process_tracer();
+    if (tracer_ == nullptr) return;
+    name_ = name;
+    category_ = category;
+    start_us_ = now_us();
+  }
+  ~ScopedTrace() {
+    if (tracer_ != nullptr) {
+      tracer_->complete(name_, category_, start_us_, now_us() - start_us_, thread_track());
+    }
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace spice::obs
+
+#if SPICE_OBS_ENABLED
+#define SPICE_OBS_CONCAT_IMPL(a, b) a##b
+#define SPICE_OBS_CONCAT(a, b) SPICE_OBS_CONCAT_IMPL(a, b)
+/// Wall-clock span over the enclosing scope, e.g.
+/// SPICE_TRACE_SCOPE("md.force_eval").
+#define SPICE_TRACE_SCOPE(name) \
+  ::spice::obs::ScopedTrace SPICE_OBS_CONCAT(spice_trace_scope_, __LINE__)(name)
+#define SPICE_TRACE_SCOPE_CAT(name, category) \
+  ::spice::obs::ScopedTrace SPICE_OBS_CONCAT(spice_trace_scope_, __LINE__)(name, category)
+/// Wall-clock instant marker on the process tracer.
+#define SPICE_TRACE_INSTANT(name)                                              \
+  do {                                                                         \
+    if (::spice::obs::tracing_on()) {                                          \
+      if (auto* spice_trace_t = ::spice::obs::process_tracer()) {              \
+        spice_trace_t->instant((name), "app", ::spice::obs::now_us(),          \
+                               ::spice::obs::thread_track());                  \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+#else
+#define SPICE_TRACE_SCOPE(name) \
+  do {                          \
+  } while (0)
+#define SPICE_TRACE_SCOPE_CAT(name, category) \
+  do {                                        \
+  } while (0)
+#define SPICE_TRACE_INSTANT(name) \
+  do {                            \
+  } while (0)
+#endif

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "obs/obs.hpp"
 #include "fe/pmf.hpp"
 #include "fe/wham.hpp"
 #include "md/observables.hpp"
@@ -52,6 +53,8 @@ spice::smd::PullResult run_single_pull(const spice::pore::TranslocationSystem& m
   pull->attach(engine);
   engine.add_contribution(pull);
 
+  static obs::Counter& pulls = obs::metrics().counter("campaign.pulls");
+  pulls.add(1);
   return spice::smd::run_pull(engine, *pull, config.pull_distance, config.sample_every);
 }
 
@@ -87,6 +90,11 @@ spice::smd::PullResult run_reverse_pull(const spice::pore::TranslocationSystem& 
 
 ComboResult run_combo(const spice::pore::TranslocationSystem& master, const SweepConfig& config,
                       double kappa_pn, double velocity_ns) {
+  SPICE_TRACE_SCOPE_CAT("campaign.combo", "campaign");
+  {
+    static obs::Counter& combos = obs::metrics().counter("campaign.combos");
+    combos.add(1);
+  }
   ComboResult result;
   result.kappa_pn = kappa_pn;
   result.velocity_ns = velocity_ns;
@@ -145,6 +153,7 @@ spice::fe::PmfEstimate compute_reference_pmf(const spice::pore::TranslocationSys
 }
 
 SweepResult run_parameter_sweep(const SweepConfig& config, bool compute_reference) {
+  SPICE_TRACE_SCOPE_CAT("campaign.parameter_sweep", "campaign");
   SPICE_REQUIRE(!config.kappas_pn.empty() && !config.velocities_ns.empty(),
                 "sweep needs κ and v values");
   SweepResult result;

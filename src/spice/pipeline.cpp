@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "grid/federation.hpp"
 #include "net/network.hpp"
 #include "pore/system.hpp"
@@ -16,6 +17,7 @@
 namespace spice::core {
 
 StaticAnalysisReport run_static_analysis(const PipelineConfig& config) {
+  SPICE_TRACE_SCOPE_CAT("pipeline.static_analysis", "pipeline");
   SPICE_INFO("phase 1: static visualization / structural analysis");
   StaticAnalysisReport report;
   const spice::pore::RadiusProfile profile = spice::pore::hemolysin_profile();
@@ -35,6 +37,7 @@ StaticAnalysisReport run_static_analysis(const PipelineConfig& config) {
 }
 
 InteractiveReport run_interactive_phase(const PipelineConfig& config) {
+  SPICE_TRACE_SCOPE_CAT("pipeline.interactive", "pipeline");
   SPICE_INFO("phase 2: interactive MD with visualization and haptics");
   InteractiveReport report;
 
@@ -103,6 +106,7 @@ InteractiveReport run_interactive_phase(const PipelineConfig& config) {
 }
 
 PreprocessingReport run_preprocessing_phase(const PipelineConfig& config) {
+  SPICE_TRACE_SCOPE_CAT("pipeline.preprocessing", "pipeline");
   SPICE_INFO("phase 3: preprocessing simulations (coarse sweep)");
   PreprocessingReport report;
   SweepConfig coarse = config.sweep;
@@ -134,6 +138,7 @@ PreprocessingReport run_preprocessing_phase(const PipelineConfig& config) {
 
 ProductionReport run_production_phase(const PipelineConfig& config,
                                       const PreprocessingReport& preprocessing) {
+  SPICE_TRACE_SCOPE_CAT("pipeline.production", "pipeline");
   SPICE_INFO("phase 4: production sweep on the federated grid");
   ProductionReport report;
 
@@ -155,6 +160,7 @@ ProductionReport run_production_phase(const PipelineConfig& config,
 }
 
 PipelineReport run_full_pipeline(const PipelineConfig& config) {
+  SPICE_TRACE_SCOPE_CAT("pipeline.full", "pipeline");
   PipelineReport report;
   report.statics = run_static_analysis(config);
   report.interactive = run_interactive_phase(config);

@@ -18,6 +18,7 @@
 
 #include "grid/faults.hpp"
 #include "grid/federation.hpp"
+#include "obs/trace.hpp"
 #include "spice/campaign.hpp"
 #include "spice/cost_model.hpp"
 
@@ -56,6 +57,11 @@ struct ExecutionOptions {
   spice::grid::RetryPolicy retry;        ///< backoff for requeues and holds
   double checkpoint_interval_hours = 0.0;  ///< 0 = restart from scratch
   double completion_floor = 1.0;           ///< accept ≥ this fraction of replicas
+  /// When set, the DES records the campaign on this tracer's VIRTUAL
+  /// timeline (one track per site + a broker track); save() the tracer
+  /// afterwards to view the campaign as a Gantt chart in Perfetto. Not
+  /// owned; must outlive the call.
+  spice::obs::Tracer* tracer = nullptr;
 };
 
 struct ProductionExecution {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "md/observables.hpp"
+#include "obs/obs.hpp"
 
 namespace spice::steering {
 
@@ -23,6 +24,13 @@ ImdSession::ImdSession(spice::net::Network& network, spice::net::HostId sim_host
 }
 
 ImdMetrics ImdSession::run() {
+  SPICE_TRACE_SCOPE_CAT("steering.imd_session", "steering");
+  static obs::Counter& ticks = obs::metrics().counter("steering.imd.steps");
+  static obs::Counter& frames = obs::metrics().counter("steering.imd.frames_sent");
+  static obs::Counter& commands = obs::metrics().counter("steering.imd.commands_applied");
+  static constexpr double kRttBounds[] = {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
+  static obs::Histogram& rtt_hist =
+      obs::metrics().histogram("steering.imd.frame_rtt_s", kRttBounds);
   ImdMetrics metrics;
   double wall = 0.0;
   double viz_free = 0.0;  // when the visualizer finishes its current frame
@@ -51,6 +59,7 @@ ImdMetrics ImdSession::run() {
           simulation_->deliver(SteeringMessage::apply_force(it->force));
         }
         ++metrics.commands_applied;
+        commands.add(1);
         it = pending.erase(it);
       } else {
         ++it;
@@ -63,6 +72,7 @@ ImdMetrics ImdSession::run() {
     }
     wall += config_.seconds_per_step;
     ++metrics.steps_completed;
+    ticks.add(1);
 
     if ((step + 1) % config_.steps_per_frame != 0) continue;
 
@@ -78,6 +88,7 @@ ImdMetrics ImdSession::run() {
 
     // Emit the frame.
     ++metrics.frames_sent;
+    frames.add(1);
     const auto frame = network_.send(wall, sim_host_, viz_host_, config_.frame_bytes,
                                      config_.transport);
     if (!frame.delivered) {
@@ -114,6 +125,7 @@ ImdMetrics ImdSession::run() {
       inflight.push_back(InFlight{true, ack.deliver_at});
       rtt_sum += ack.deliver_at - wall;
       ++rtt_count;
+      rtt_hist.record(ack.deliver_at - wall);
     } else {
       inflight.push_back(InFlight{false, 0.0});
     }

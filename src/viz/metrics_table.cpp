@@ -1,0 +1,39 @@
+#include "viz/metrics_table.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spice::viz {
+
+Table metrics_scalar_table(const spice::obs::MetricsSnapshot& snapshot) {
+  std::vector<std::string> columns;
+  std::vector<double> row;
+  for (const auto& c : snapshot.counters) {
+    columns.push_back(c.name);
+    row.push_back(static_cast<double>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    columns.push_back(g.name);
+    row.push_back(g.value);
+  }
+  if (columns.empty()) columns.push_back("(no metrics)"), row.push_back(0.0);
+  Table table(std::move(columns));
+  table.add_row(row);
+  return table;
+}
+
+Table histogram_table(const spice::obs::HistogramSample& histogram) {
+  SPICE_REQUIRE(histogram.counts.size() == histogram.bounds.size() + 1,
+                "histogram sample shape mismatch: " + histogram.name);
+  Table table({"upper_bound", "count"});
+  for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+    const double bound = i < histogram.bounds.size()
+                             ? histogram.bounds[i]
+                             : std::numeric_limits<double>::infinity();
+    table.add_row({bound, static_cast<double>(histogram.counts[i])});
+  }
+  return table;
+}
+
+}  // namespace spice::viz

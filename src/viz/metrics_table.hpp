@@ -1,0 +1,19 @@
+#pragma once
+// obs::MetricsSnapshot → viz::Table adapters, so metric exports ride the
+// same CSV/JSON/pretty writers as every bench table. Lives in viz (not
+// obs) to keep the layering acyclic: obs sits under md, viz sits above it.
+
+#include "obs/metrics.hpp"
+#include "viz/series_writer.hpp"
+
+namespace spice::viz {
+
+/// All counters and gauges as one wide single-row table (column = metric
+/// name). Counter columns come first, then gauges, each sorted by name.
+[[nodiscard]] Table metrics_scalar_table(const spice::obs::MetricsSnapshot& snapshot);
+
+/// One histogram as rows of (upper_bound, count); the overflow bucket gets
+/// an infinite upper bound (exported as null by write_json).
+[[nodiscard]] Table histogram_table(const spice::obs::HistogramSample& histogram);
+
+}  // namespace spice::viz

@@ -1,6 +1,9 @@
 #include "viz/series_writer.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -33,6 +36,40 @@ void Table::write_csv(std::ostream& os) const {
       os << row[c] << (c + 1 < row.size() ? "," : "\n");
     }
   }
+}
+
+void Table::write_json(std::ostream& os) const {
+  // Column names may contain quotes/backslashes in principle; escape the
+  // JSON-significant characters so the output always parses.
+  auto write_key = [&os](const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') os << '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF] << "0123456789abcdef"[c & 0xF];
+      } else {
+        os << c;
+      }
+    }
+    os << '"';
+  };
+  os << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << " {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << ", ";
+      write_key(columns_[c]);
+      os << ": ";
+      const double v = rows_[r][c];
+      if (std::isfinite(v)) {
+        os << v;
+      } else {
+        os << "null";  // NaN/inf are not valid JSON numbers
+      }
+    }
+    os << "}";
+  }
+  os << "\n]\n";
 }
 
 void Table::write_pretty(std::ostream& os, int precision) const {
@@ -68,10 +105,32 @@ void Table::write_pretty(std::ostream& os, int precision) const {
   }
 }
 
+namespace {
+std::string open_failure(const char* what, const std::string& path) {
+  // errno is set by the failed open; capture it before anything else runs.
+  const int err = errno;
+  std::string msg = std::string("could not open ") + what + " output '" + path + "'";
+  if (err != 0) msg += std::string(": ") + std::strerror(err);
+  return msg;
+}
+}  // namespace
+
 void Table::save_csv(const std::string& path) const {
+  errno = 0;
   std::ofstream file(path);
-  SPICE_REQUIRE(file.is_open(), "could not open CSV output: " + path);
+  SPICE_REQUIRE(file.is_open(), open_failure("CSV", path));
   write_csv(file);
+  file.flush();
+  SPICE_REQUIRE(file.good(), "write failed for CSV output '" + path + "'");
+}
+
+void Table::save_json(const std::string& path) const {
+  errno = 0;
+  std::ofstream file(path);
+  SPICE_REQUIRE(file.is_open(), open_failure("JSON", path));
+  write_json(file);
+  file.flush();
+  SPICE_REQUIRE(file.good(), "write failed for JSON output '" + path + "'");
 }
 
 }  // namespace spice::viz

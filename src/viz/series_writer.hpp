@@ -23,10 +23,16 @@ class Table {
 
   /// Write as CSV.
   void write_csv(std::ostream& os) const;
+  /// Write as a JSON array of objects, one object per row keyed by column
+  /// name (non-finite values become null). This is the shared exporter for
+  /// bench tables and obs metric snapshots (viz/metrics_table.hpp).
+  void write_json(std::ostream& os) const;
   /// Write as an aligned, human-readable table with `precision` decimals.
   void write_pretty(std::ostream& os, int precision = 3) const;
-  /// Write CSV to a file; throws on I/O failure.
+  /// Write CSV to a file; throws on I/O failure naming the path.
   void save_csv(const std::string& path) const;
+  /// Write JSON to a file; throws on I/O failure naming the path.
+  void save_json(const std::string& path) const;
 
  private:
   std::vector<std::string> columns_;

@@ -304,6 +304,54 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_EQ(total.load(), 10);
 }
 
+TEST(ThreadPool, EmptyRangeNeverInvokesTheBody) {
+  // n == 0 must return without dispatching anything to the workers (the
+  // instrumented parallel_for has an early-out before any queueing).
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.parallel_for(0, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  }
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleRangeRunsInlineOnTheCaller) {
+  // When the partition collapses to one chunk the body must run on the
+  // calling thread — no handoff, no pool synchronization.
+  ThreadPool pool(8);
+  std::thread::id body_thread;
+  pool.parallel_for(1, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 1u);
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ExceptionFirstWinsAcrossChunks) {
+  // Every chunk throws; exactly one exception must surface (the first one
+  // recorded), and the others are swallowed after all chunks complete.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    bool caught = false;
+    try {
+      pool.parallel_for(1000, [](std::size_t lo, std::size_t) {
+        throw std::runtime_error("chunk@" + std::to_string(lo));
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_EQ(std::string(e.what()).rfind("chunk@", 0), 0u);
+    }
+    EXPECT_TRUE(caught);
+  }
+  // And the pool still works.
+  std::atomic<int> total{0};
+  pool.parallel_for(64, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
 TEST(ThreadPool, ReusableAcrossManyCalls) {
   ThreadPool pool(3);
   for (int round = 0; round < 50; ++round) {

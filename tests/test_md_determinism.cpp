@@ -15,6 +15,7 @@
 
 #include "md/engine.hpp"
 #include "md/topology.hpp"
+#include "obs/obs.hpp"
 #include "smd/restraint.hpp"
 
 namespace {
@@ -90,6 +91,36 @@ TEST(Determinism, LegacyPathIsAlsoThreadCountInvariant) {
   const auto one = bytes_after_500(1, ForcePath::LegacyPairList, /*with_restraint=*/true);
   const auto eight = bytes_after_500(8, ForcePath::LegacyPairList, /*with_restraint=*/true);
   EXPECT_EQ(one, eight);
+}
+
+TEST(Determinism, TracingAndMetricsDoNotPerturbTrajectories) {
+  // The obs instrumentation on the force-eval path (counters, phase spans,
+  // per-kernel detail attribution) performs only clock reads and atomic
+  // adds — it must never touch simulation state. Run the full stack of
+  // switches and require byte-identical checkpoints across thread counts
+  // AND against the uninstrumented baseline.
+  const auto baseline = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/true);
+
+  obs::Tracer tracer("determinism");
+  tracer.set_event_limit(100'000);
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  obs::set_detail_enabled(true);
+  obs::set_process_tracer(&tracer);
+
+  const auto one = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/true);
+  const auto two = bytes_after_500(2, ForcePath::Kernels, /*with_restraint=*/true);
+  const auto eight = bytes_after_500(8, ForcePath::Kernels, /*with_restraint=*/true);
+
+  obs::set_process_tracer(nullptr);
+  obs::set_detail_enabled(false);
+  obs::set_tracing_enabled(false);
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(one, baseline);
+  EXPECT_EQ(two, baseline);
+  EXPECT_EQ(eight, baseline);
+  EXPECT_GT(tracer.event_count(), 0u);  // the instrumentation actually ran
 }
 
 TEST(Determinism, RestraintChangesTheTrajectory) {

@@ -1,0 +1,318 @@
+// spice::obs — metrics registry, tracer, and cross-layer instrumentation.
+//
+// The contracts under test:
+//   * counters are exact once writers quiesce, even under heavy concurrent
+//     sharded adds;
+//   * histogram bucket edges follow the documented v <= bound rule;
+//   * trace output is well-formed Chrome trace-event JSON (parsed back with
+//     the repo's own validator, including escape-worthy names);
+//   * the DES emits retroactive job spans in virtual-clock order;
+//   * kill switches actually kill (disabled adds are no-ops).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "grid/des.hpp"
+#include "grid/site.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace spice;
+
+/// Flip the runtime switches for one test and restore the all-off default
+/// afterwards, so obs state never leaks between tests (or suites).
+struct ObsGuard {
+  explicit ObsGuard(bool metrics, bool tracing = false, bool detail = false) {
+    obs::set_metrics_enabled(metrics);
+    obs::set_tracing_enabled(tracing);
+    obs::set_detail_enabled(detail);
+  }
+  ~ObsGuard() {
+    obs::set_process_tracer(nullptr);
+    obs::set_detail_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::set_metrics_enabled(false);
+  }
+};
+
+// --- registry -------------------------------------------------------------
+
+TEST(MetricsRegistry, ConcurrentCounterAddsAreExact) {
+  ObsGuard guard(/*metrics=*/true);
+  obs::MetricsRegistry registry;
+  obs::Counter& shared = registry.counter("test.shared.adds");
+  obs::Counter& weighted = registry.counter("test.weighted.adds");
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, &weighted, t] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        shared.add(1);
+        weighted.add(t + 1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Sharded relaxed adds must still sum exactly once writers quiesce.
+  EXPECT_EQ(shared.value(), kThreads * kAddsPerThread);
+  std::uint64_t expected_weighted = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) expected_weighted += (t + 1) * kAddsPerThread;
+  EXPECT_EQ(weighted.value(), expected_weighted);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("test.shared.adds"), kThreads * kAddsPerThread);
+  EXPECT_EQ(snap.counter_value("test.weighted.adds"), expected_weighted);
+  EXPECT_EQ(snap.counter_value("test.never.registered"), 0u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndFindOrCreate) {
+  ObsGuard guard(/*metrics=*/true);
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("test.stable");
+  obs::Counter& b = registry.counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  registry.reset();
+  EXPECT_EQ(a.value(), 0u);  // handle survives reset
+}
+
+TEST(MetricsRegistry, DisabledAddsAreNoops) {
+  ObsGuard guard(/*metrics=*/false);
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("test.disabled");
+  obs::Gauge& gauge = registry.gauge("test.disabled.gauge");
+  counter.add(42);
+  gauge.set(3.5);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketEdges) {
+  ObsGuard guard(/*metrics=*/true);
+  obs::MetricsRegistry registry;
+  const double bounds[] = {1.0, 2.0, 5.0};
+  obs::Histogram& h = registry.histogram("test.edges", bounds);
+
+  h.record(0.5);   // <= 1.0        -> bucket 0
+  h.record(1.0);   // == bound      -> bucket 0 (v <= bound is inclusive)
+  h.record(1.001); // just above    -> bucket 1
+  h.record(2.0);   // == bound      -> bucket 1
+  h.record(5.0);   // == last bound -> bucket 2
+  h.record(5.001); // above all     -> overflow
+  h.record(1e9);   //               -> overflow
+
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 1e9, 1e-6);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramRecordsAreExact) {
+  ObsGuard guard(/*metrics=*/true);
+  obs::MetricsRegistry registry;
+  const double bounds[] = {0.25, 0.5, 0.75};
+  obs::Histogram& h = registry.histogram("test.concurrent.hist", bounds);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(i % 4) * 0.25);  // 0, .25, .5, .75 evenly
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  // 0 and 0.25 both land in bucket 0 (v <= 0.25); .5 and .75 in their own.
+  EXPECT_EQ(counts[0], kThreads * kPerThread / 2);
+  EXPECT_EQ(counts[1], kThreads * kPerThread / 4);
+  EXPECT_EQ(counts[2], kThreads * kPerThread / 4);
+  EXPECT_EQ(counts[3], 0u);
+}
+
+// --- thread pool instrumentation ------------------------------------------
+
+TEST(PoolInstrumentation, ParallelForRecordsIntoGlobalRegistry) {
+  ObsGuard guard(/*metrics=*/true);
+  const std::uint64_t calls_before =
+      obs::metrics().snapshot().counter_value("pool.parallel_for.calls");
+
+  ThreadPool pool(4);
+  std::atomic<std::size_t> touched{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.parallel_for(1000, [&](std::size_t lo, std::size_t hi) {
+      touched.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(touched.load(), 5000u);
+
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.counter_value("pool.parallel_for.calls"), calls_before + 5);
+  // Imbalance histogram saw the same calls.
+  const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                               [](const auto& h) {
+                                 return h.name == "pool.parallel_for.imbalance";
+                               });
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_GE(it->count, 5u);
+}
+
+// --- tracer ---------------------------------------------------------------
+
+TEST(Tracer, WriteJsonIsWellFormed) {
+  obs::Tracer tracer("test \"process\"\nwith escapes\t");
+  const std::uint32_t track = tracer.new_track("site \"A\"\\B");
+  tracer.complete("span \"quoted\"", "cat", 10.0, 5.0, track, "detail\nline");
+  tracer.instant("marker", "cat", 12.0, track);
+  tracer.async_begin("held", "grid.held", 7, 13.0, track, "why");
+  tracer.async_end("held", "grid.held", 7, 20.0, track);
+  tracer.counter("queue_depth", 14.0, 3.0);
+
+  std::ostringstream os;
+  tracer.write_json(os);
+  std::string error;
+  EXPECT_TRUE(spice::json_is_valid(os.str(), &error)) << error << "\n" << os.str();
+  EXPECT_EQ(tracer.event_count(), 5u);
+}
+
+TEST(Tracer, ScopedTraceRecordsAgainstProcessTracer) {
+  ObsGuard guard(/*metrics=*/false, /*tracing=*/true);
+  obs::Tracer tracer("scoped");
+  obs::set_process_tracer(&tracer);
+  {
+    SPICE_TRACE_SCOPE_CAT("unit.scope", "test");
+  }
+  obs::set_process_tracer(nullptr);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.scope");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(Tracer, ScopedTraceIsInertWhenTracingOff) {
+  ObsGuard guard(/*metrics=*/false, /*tracing=*/false);
+  obs::Tracer tracer("inert");
+  obs::set_process_tracer(&tracer);
+  {
+    SPICE_TRACE_SCOPE("unit.never");
+    SPICE_TRACE_INSTANT("unit.never.instant");
+  }
+  obs::set_process_tracer(nullptr);
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, EventLimitDropsAndCounts) {
+  obs::Tracer tracer("capped");
+  tracer.set_event_limit(3);
+  for (int i = 0; i < 8; ++i) {
+    tracer.instant("e" + std::to_string(i), "cat", static_cast<double>(i), 0);
+  }
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.dropped_count(), 5u);
+  // First-N retention: the survivors are the earliest events.
+  const auto events = tracer.events();
+  EXPECT_EQ(events[0].name, "e0");
+  EXPECT_EQ(events[2].name, "e2");
+
+  std::ostringstream os;
+  tracer.write_json(os);
+  std::string error;
+  EXPECT_TRUE(spice::json_is_valid(os.str(), &error)) << error;
+  EXPECT_NE(os.str().find("events dropped"), std::string::npos);
+}
+
+// --- DES virtual clock -----------------------------------------------------
+
+TEST(DesTracing, JobSpansLandOnTheVirtualTimelineInOrder) {
+  obs::Tracer tracer("des");
+  grid::EventQueue events;
+  events.set_tracer(&tracer);
+  grid::SiteSpec spec;
+  spec.name = "TestSite";
+  spec.processors = 128;
+  grid::Site site(spec, events);
+
+  // Two jobs that must run back-to-back (each wants every processor).
+  for (int i = 0; i < 2; ++i) {
+    grid::Job job;
+    job.id = static_cast<grid::JobId>(i + 1);
+    job.name = "job" + std::to_string(i);
+    job.processors = 128;
+    job.runtime_hours = 2.0;
+    site.submit(std::move(job));
+  }
+  events.run_until(100.0);
+
+  std::vector<obs::TraceEvent> runs;
+  for (const auto& e : tracer.events()) {
+    if (e.category == "grid.job.run") runs.push_back(e);
+  }
+  ASSERT_EQ(runs.size(), 2u);
+  // Virtual clock: 2 simulated hours of runtime map to exactly
+  // 2 * kTraceUsPerHour trace microseconds.
+  EXPECT_DOUBLE_EQ(runs[0].dur_us, 2.0 * obs::kTraceUsPerHour);
+  EXPECT_DOUBLE_EQ(runs[1].dur_us, 2.0 * obs::kTraceUsPerHour);
+  // Back-to-back: job1 starts when job0 ends, and spans are emitted in
+  // completion order so the virtual timestamps are monotone.
+  EXPECT_DOUBLE_EQ(runs[1].ts_us, runs[0].ts_us + runs[0].dur_us);
+  // Both rendered on the same (site) track.
+  EXPECT_EQ(runs[0].track, runs[1].track);
+
+  // The second job waited in the queue: its queued span must abut its run
+  // span ([submit, start) then [start, end)).
+  std::vector<obs::TraceEvent> queued;
+  for (const auto& e : tracer.events()) {
+    if (e.category == "grid.job.queued") queued.push_back(e);
+  }
+  ASSERT_FALSE(queued.empty());
+  const auto& waited = queued.back();
+  EXPECT_DOUBLE_EQ(waited.ts_us + waited.dur_us, runs[1].ts_us);
+}
+
+TEST(DesTracing, OutageEmitsForwardDatedSpan) {
+  obs::Tracer tracer("outage");
+  grid::EventQueue events;
+  events.set_tracer(&tracer);
+  grid::SiteSpec spec;
+  spec.name = "Fragile";
+  grid::Site site(spec, events);
+
+  events.at(5.0, [&site] { site.fail_until(12.0); });
+  events.run_until(20.0);
+
+  const auto recorded = tracer.events();
+  const auto it = std::find_if(recorded.begin(), recorded.end(), [](const auto& e) {
+    return e.category == "grid.site.outage";
+  });
+  ASSERT_NE(it, recorded.end());
+  EXPECT_DOUBLE_EQ(it->ts_us, 5.0 * obs::kTraceUsPerHour);
+  EXPECT_DOUBLE_EQ(it->dur_us, 7.0 * obs::kTraceUsPerHour);
+}
+
+}  // namespace
