@@ -13,15 +13,47 @@
 // campaign as a Gantt chart of queued/running jobs per site.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "obs/obs.hpp"
 #include "spice/pipeline.hpp"
+#include "viz/dashboard.hpp"
 #include "viz/metrics_table.hpp"
 
 using namespace spice;
 using namespace spice::core;
+
+namespace {
+
+/// Extract the integer following `"name":` in a JSONL record (0 if the
+/// metric did not change in that record).
+long long delta_in_record(const std::string& line, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return 0;
+  return std::stoll(line.substr(pos + key.size()));
+}
+
+viz::DashboardFrame to_frame(const CampaignProgress& progress) {
+  viz::DashboardFrame frame;
+  frame.sim_hours = progress.sim_hours;
+  frame.jobs_requested = progress.requested;
+  frame.jobs_completed = progress.completed;
+  frame.jobs_failed = progress.failed;
+  frame.jobs_held = progress.held;
+  for (const auto& site : progress.sites) {
+    frame.sites.push_back({site.name, site.queued, site.running, site.free_processors,
+                           site.backlog_hours, site.in_outage});
+  }
+  return frame;
+}
+
+}  // namespace
 
 int main() {
   set_log_level(LogLevel::Info);  // narrate the phases
@@ -37,15 +69,49 @@ int main() {
   obs::set_process_tracer(&wall_tracer);
   obs::Tracer grid_tracer("federated campaign (simulated time)");
 
+  // Mission control: a snapshot exporter streams the registry to disk at
+  // 1 Hz while the pipeline runs, and a watchdog guards the long-running
+  // subsystems through the counters they already maintain. The deadline is
+  // far beyond any healthy gap, so a clean demo run fires zero alerts.
+  obs::ExporterConfig exporter_config;
+  exporter_config.prometheus_path = "federated_campaign_metrics.prom";
+  exporter_config.jsonl_path = "federated_campaign_metrics.jsonl";
+  exporter_config.period_s = 1.0;
+  obs::SnapshotExporter exporter(exporter_config);
+  exporter.start();
+
+  obs::WatchdogConfig watchdog_config;
+  watchdog_config.default_deadline_s = 300.0;
+  watchdog_config.period_s = 5.0;
+  obs::Watchdog watchdog(watchdog_config);
+  watchdog.watch_counter("md-engine", obs::metrics().counter("md.engine.steps"));
+  watchdog.watch_counter("thread-pool", obs::metrics().counter("pool.parallel_for.calls"));
+  watchdog.watch_counter("campaign-pulls", obs::metrics().counter("campaign.pulls"));
+  watchdog.start();
+
   PipelineConfig config;
   config.sweep.kappas_pn = {10.0, 100.0, 1000.0};
   config.sweep.velocities_ns = {25.0, 100.0};
   config.sweep.samples_at_slowest = 4;
   config.sweep.grid_points = 11;
   config.sweep.bootstrap_resamples = 48;
+  // Convergence-gated early stop: a (κ, v) cell stops pulling once its
+  // streaming jackknife error bar drops below this (fixed counts remain
+  // the ceiling, so the gate only saves compute).
+  config.sweep.early_stop_error_kcal = 1.0;
+  config.sweep.early_stop_min_samples = 4;
   config.imd_steps = 800;
   config.paper_replicas_per_cell = 6;
   config.execution.tracer = &grid_tracer;
+
+  // Mission-control frames every 6 simulated hours of the DES execution.
+  CampaignProgress last_progress;
+  config.execution.progress_interval_hours = 6.0;
+  config.execution.on_progress = [&last_progress](const CampaignProgress& progress) {
+    last_progress = progress;
+    if (progress.final_frame) return;  // the annotated final frame prints later
+    viz::render_dashboard(std::cout, to_frame(progress));
+  };
 
   const PipelineReport report = run_full_pipeline(config);
 
@@ -100,7 +166,61 @@ int main() {
   std::printf("OPTIMAL: kappa = %.0f pN/A, v = %.1f A/ns\n",
               production.optimal.best.kappa_pn, production.optimal.best.velocity_ns);
 
+  // ----- mission control: final frame -------------------------------------
+  std::printf("\n===== MISSION CONTROL (final frame) =====\n");
+  viz::DashboardFrame final_frame = to_frame(last_progress);
+  for (const auto& combo : production.sweep.combos) {
+    final_frame.cells.push_back({combo.kappa_pn, combo.velocity_ns, combo.samples,
+                                 combo.convergence.delta_f, combo.convergence.jackknife_error,
+                                 combo.convergence.ess, combo.early_stopped});
+  }
+  {
+    const obs::MetricsSnapshot mid = obs::metrics().snapshot();
+    viz::render_dashboard(std::cout, final_frame, &mid);
+  }
+  std::size_t early_stopped = 0;
+  for (const auto& combo : production.sweep.combos) early_stopped += combo.early_stopped;
+  std::printf("early stop: %zu/%zu cells converged below their replica budget\n",
+              early_stopped, production.sweep.combos.size());
+
   // ----- observability dump -----------------------------------------------
+  watchdog.stop();
+  std::printf("\nhealth: %llu alerts over the run\n",
+              static_cast<unsigned long long>(watchdog.alert_count()));
+  for (const auto& status : watchdog.status()) {
+    std::printf("  %-16s %s\n", status.name.c_str(), status.stalled ? "STALLED" : "healthy");
+  }
+
+  exporter.stop();  // drains the queue + one final exact self-sample
+  {
+    std::ifstream prom("federated_campaign_metrics.prom");
+    std::stringstream prom_text;
+    prom_text << prom.rdbuf();
+    const bool prom_ok = prom_text.str().find("# TYPE campaign_pulls counter") !=
+                         std::string::npos;
+
+    std::ifstream jsonl("federated_campaign_metrics.jsonl");
+    std::string line;
+    std::size_t lines = 0;
+    std::size_t invalid = 0;
+    long long pulls_from_deltas = 0;
+    while (std::getline(jsonl, line)) {
+      ++lines;
+      if (!json_is_valid(line)) ++invalid;
+      pulls_from_deltas += delta_in_record(line, "campaign.pulls");
+    }
+    const auto final_snapshot = obs::metrics().snapshot();
+    const long long pulls_total =
+        static_cast<long long>(final_snapshot.counter_value("campaign.pulls"));
+    std::printf("exporter: prometheus exposition %s; jsonl %zu records, %zu invalid; "
+                "campaign.pulls deltas sum to %lld (registry: %lld) — %s\n",
+                prom_ok ? "well-formed" : "MISSING METRICS", lines, invalid,
+                pulls_from_deltas, pulls_total,
+                invalid == 0 && prom_ok && pulls_from_deltas == pulls_total
+                    ? "PARSE-BACK OK"
+                    : "PARSE-BACK FAILED");
+  }
+
   obs::set_process_tracer(nullptr);
   grid_tracer.save("federated_campaign_trace.json");
   wall_tracer.save("federated_campaign_wall_trace.json");

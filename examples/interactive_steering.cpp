@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
+#include "fe/convergence.hpp"
 #include "net/network.hpp"
 #include "pore/system.hpp"
 #include "spice/cost_model.hpp"
@@ -86,6 +88,53 @@ int main() {
   std::printf("  original  head z : %.2f A (unperturbed)\n", simulation.steered_com_z());
   std::printf("  clone     head z : %.2f A (aggressively steered what-if)\n",
               clone.steered_com_z());
+
+  // --- live JE convergence on the steering client ---------------------------
+  // The operator's question while replicas pull: "is the free-energy
+  // estimate converged enough to stop?". A ConvergenceTracker ingests each
+  // replica's endpoint work and its diagnostics are published as monitored
+  // parameters, so they arrive over the same telemetry channel as
+  // temperature and COM — and gate when to stop spending replicas.
+  fe::ConvergenceConfig conv;
+  conv.target_error_kcal = 1.0;  // stop once σ_jack ≤ 1 kcal/mol
+  conv.min_samples = 3;
+  fe::ConvergenceTracker tracker(conv);
+  simulation.publish_monitor("je_delta_f_kcal", [&tracker] { return tracker.state().delta_f; });
+  simulation.publish_monitor("je_error_kcal",
+                             [&tracker] { return tracker.state().jackknife_error; });
+  simulation.publish_monitor("je_ess", [&tracker] { return tracker.state().ess; });
+
+  const double pull_distance = 2.0;  // Å — a quick probe pull per replica
+  std::printf("\nJE convergence watch (kappa = 100 pN/A, v = 100 A/ns):\n");
+  constexpr int kMaxReplicas = 8;
+  for (int r = 0; r < kMaxReplicas; ++r) {
+    SteerableSimulation replica = simulation.clone_from("exploration-point", 1000 + r);
+    smd::SmdParams params;
+    params.spring_pn_per_angstrom = 100.0;
+    params.velocity_angstrom_per_ns = 100.0;
+    params.direction = {0.0, 0.0, -1.0};
+    params.smd_atoms = {system.dna_selection.front()};
+    auto pull = std::make_shared<smd::ConstantVelocityPull>(params);
+    pull->attach(replica.engine());
+    replica.engine().add_contribution(pull);
+    const smd::PullResult result =
+        smd::run_pull(replica.engine(), *pull, pull_distance, 50);
+    tracker.add_work(
+        fe::endpoint_work(result, pull_distance, fe::WorkSource::Accumulated));
+
+    const auto monitors = simulation.monitored_parameters();
+    std::printf("  pull %d: dF = %6.2f +- %5.2f kcal/mol, ESS %.1f/%zu\n", r + 1,
+                monitors.at("je_delta_f_kcal"), monitors.at("je_error_kcal"),
+                monitors.at("je_ess"), tracker.state().samples);
+    if (tracker.state().converged) {
+      std::printf("  CONVERGED below %.1f kcal/mol after %zu pulls — stop pulling\n",
+                  conv.target_error_kcal, tracker.state().samples);
+      break;
+    }
+  }
+  if (!tracker.state().converged) {
+    std::printf("  replica budget exhausted before the error-bar target\n");
+  }
 
   std::cout << "\nfinal configuration (original):\n";
   std::cout << viz::render_side_view(system.pore->profile(),

@@ -1,0 +1,90 @@
+#include "fe/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+
+namespace spice::fe {
+
+ConvergenceTracker::ConvergenceTracker(ConvergenceConfig config) : config_(config) {
+  SPICE_REQUIRE(config_.temperature_k > 0.0, "temperature must be positive");
+  SPICE_REQUIRE(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                "EWMA alpha must be in (0, 1]");
+  SPICE_REQUIRE(config_.min_samples >= 2, "convergence needs at least 2 samples");
+}
+
+const ConvergenceState& ConvergenceTracker::add_work(double work_kcal) {
+  works_.push_back(work_kcal);
+  recompute();
+  return state_;
+}
+
+void ConvergenceTracker::recompute() {
+  const double kt = units::kT(config_.temperature_k);
+  const double beta = 1.0 / kt;
+  const std::size_t n = works_.size();
+
+  // All the estimators share the shifted Boltzmann weights
+  // u_i = exp(−βW_i − m) with m = max(−βW_i), so the largest weight is 1
+  // and nothing overflows however dissipative the works are.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = -beta * works_[i];
+  const double m = *std::max_element(x.begin(), x.end());
+  double sum_u = 0.0;
+  double sum_u2 = 0.0;
+  double sum_w = 0.0;
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = std::exp(x[i] - m);
+    sum_u += u[i];
+    sum_u2 += u[i] * u[i];
+    sum_w += works_[i];
+  }
+
+  state_.samples = n;
+  // ΔF = −kT [ m + ln(Σu) − ln n ]   (the log-mean-exp, re-shifted).
+  state_.delta_f = -kt * (m + std::log(sum_u) - std::log(static_cast<double>(n)));
+  state_.delta_f_ewma = n == 1 ? state_.delta_f
+                               : config_.ewma_alpha * state_.delta_f +
+                                     (1.0 - config_.ewma_alpha) * state_.delta_f_ewma;
+  state_.ess = sum_u2 > 0.0 ? (sum_u * sum_u) / sum_u2 : 0.0;
+  state_.mean_work = sum_w / static_cast<double>(n);
+  state_.dissipated_work = state_.mean_work - state_.delta_f;
+
+  // Leave-one-out jackknife of ΔF: θ_{-i} reuses Σu minus one weight, so
+  // the whole pass is O(n). Var_jack = (n−1)/n Σ (θ_{-i} − θ̄)².
+  if (n >= 2) {
+    std::vector<double> loo(n);
+    double loo_mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = std::max(sum_u - u[i], 1e-300);
+      loo[i] = -kt * (m + std::log(s) - std::log(static_cast<double>(n - 1)));
+      loo_mean += loo[i];
+    }
+    loo_mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const double v : loo) var += (v - loo_mean) * (v - loo_mean);
+    var *= static_cast<double>(n - 1) / static_cast<double>(n);
+    state_.jackknife_error = std::sqrt(var);
+  } else {
+    state_.jackknife_error = 0.0;
+  }
+
+  state_.converged = config_.target_error_kcal > 0.0 && n >= config_.min_samples &&
+                     state_.jackknife_error <= config_.target_error_kcal;
+}
+
+double endpoint_work(const spice::smd::PullResult& pull, double pull_distance,
+                     WorkSource source) {
+  // One-pull, two-point grid through the batch path: identical
+  // interpolation (and SampledForce re-integration) to the final analysis.
+  const WorkEnsemble ensemble =
+      grid_work_ensemble(std::span<const spice::smd::PullResult>{&pull, 1}, pull_distance, 2,
+                         source);
+  return ensemble.work[0][1];
+}
+
+}  // namespace spice::fe

@@ -1,0 +1,84 @@
+#pragma once
+// Streaming SMD-JE convergence diagnostics (DESIGN.md §8, mission control).
+//
+// The Jarzynski exponential average is dominated by rare low-work
+// trajectories (the small-sample bias of arXiv:1607.07430 / 1401.8040), so
+// "how many pulls are enough?" cannot be answered from the point estimate
+// alone. The ConvergenceTracker ingests the endpoint work of each
+// completed pull and maintains, incrementally:
+//
+//   * ΔF        — the running JE estimate −kT ln⟨e^{−βW}⟩ over all works
+//   * ΔF EWMA   — exponential average of the running estimate; its drift
+//                 against ΔF shows whether new pulls still move the answer
+//   * σ_jack    — leave-one-out jackknife standard error of ΔF (O(n) via a
+//                 shifted log-sum-exp; honest about the heavy left tail in
+//                 a way a naive σ/√n is not)
+//   * ESS       — Kish effective sample size (Σw)²/Σw² with w = e^{−βW};
+//                 collapses toward 1 when one rare trajectory dominates
+//   * W_diss    — dissipated work ⟨W⟩ − ΔF, the systematic-bias proxy
+//
+// A (κ, v) cell is *converged* once σ_jack falls to the configured target
+// with at least min_samples pulls banked — the campaign's early-stop hook
+// (spice::core::SweepConfig::early_stop_error_kcal) uses exactly this
+// predicate, and the steering layer exposes the same numbers as monitored
+// parameters so an interactive operator watches them live.
+
+#include <cstddef>
+#include <vector>
+
+#include "fe/jarzynski.hpp"
+
+namespace spice::fe {
+
+struct ConvergenceConfig {
+  double temperature_k = 300.0;
+  /// EWMA smoothing for the running ΔF estimate (weight of the newest
+  /// running estimate).
+  double ewma_alpha = 0.25;
+  /// Convergence target for the jackknife error bar, kcal/mol. <= 0 means
+  /// diagnostics only — converged() never fires.
+  double target_error_kcal = 0.0;
+  /// Never declare convergence with fewer pulls than this (a jackknife
+  /// over 2–3 works is meaninglessly tight when they happen to agree).
+  std::size_t min_samples = 4;
+};
+
+/// Snapshot of the diagnostics after the most recent pull.
+struct ConvergenceState {
+  std::size_t samples = 0;
+  double delta_f = 0.0;           ///< JE exponential estimate, kcal/mol
+  double delta_f_ewma = 0.0;      ///< exponential average of delta_f
+  double jackknife_error = 0.0;   ///< leave-one-out SE of delta_f
+  double ess = 0.0;               ///< Kish effective sample size ∈ [1, n]
+  double mean_work = 0.0;
+  double dissipated_work = 0.0;   ///< ⟨W⟩ − ΔF, kcal/mol
+  bool converged = false;
+};
+
+class ConvergenceTracker {
+ public:
+  explicit ConvergenceTracker(ConvergenceConfig config);
+
+  /// Ingest the endpoint work (kcal/mol) of one completed pull and return
+  /// the refreshed diagnostics.
+  const ConvergenceState& add_work(double work_kcal);
+
+  [[nodiscard]] const ConvergenceState& state() const { return state_; }
+  [[nodiscard]] const std::vector<double>& works() const { return works_; }
+  [[nodiscard]] const ConvergenceConfig& config() const { return config_; }
+
+ private:
+  void recompute();
+
+  ConvergenceConfig config_;
+  std::vector<double> works_;
+  ConvergenceState state_;
+};
+
+/// Endpoint work of one pull at λ = pull_distance under the campaign's
+/// work-source convention (same interpolation / force-reintegration path
+/// the batch JE analysis uses, so streaming and final estimates agree).
+[[nodiscard]] double endpoint_work(const spice::smd::PullResult& pull, double pull_distance,
+                                   WorkSource source);
+
+}  // namespace spice::fe

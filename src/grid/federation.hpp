@@ -131,6 +131,14 @@ class Broker {
   /// Final campaign metrics; requires done().
   [[nodiscard]] CampaignResult result() const;
 
+  // Mid-run progress (valid any time after submit_all; mission-control
+  // progress snapshots read these while the DES is still running).
+  [[nodiscard]] std::size_t requested() const { return result_.requested; }
+  [[nodiscard]] std::size_t completed() const { return result_.completed; }
+  [[nodiscard]] std::size_t failed() const { return result_.failed; }
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
+  [[nodiscard]] std::size_t held_count() const { return held_.size(); }
+
  private:
   [[nodiscard]] Site* choose_site(const Job& job, const std::string& exclude);
   /// Could any site EVER run this job (ignoring outages/exclusions)?

@@ -1,0 +1,151 @@
+#include "obs/health.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace spice::obs {
+
+std::uint64_t Heartbeat::pack(double us) { return std::bit_cast<std::uint64_t>(us); }
+double Heartbeat::unpack(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+Watchdog::Watchdog(WatchdogConfig config, MetricsRegistry& registry)
+    : config_(config),
+      registry_(registry),
+      alerts_counter_(registry.counter("obs.health.alerts")),
+      polls_counter_(registry.counter("obs.health.polls")) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+Heartbeat& Watchdog::heartbeat(const std::string& name, double deadline_s) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.deadline_s = deadline_s > 0.0 ? deadline_s : config_.default_deadline_s;
+  entry.heartbeat = std::make_unique<Heartbeat>();
+  entry.heartbeat->bits_.store(Heartbeat::pack(now_us()), std::memory_order_relaxed);
+  return *entry.heartbeat;
+}
+
+void Watchdog::watch_counter(const std::string& name, const Counter& counter,
+                             double deadline_s) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.deadline_s = deadline_s > 0.0 ? deadline_s : config_.default_deadline_s;
+  entry.counter = &counter;
+  entry.last_value = counter.value();
+  entry.last_progress_us = now_us();
+}
+
+void Watchdog::alert(const Entry& entry, double silent_s) {
+  char msg[192];
+  std::snprintf(msg, sizeof(msg), "watchdog: '%s' stalled — no progress for %.2f s (deadline %.2f s)",
+                entry.name.c_str(), silent_s, entry.deadline_s);
+  SPICE_WARN(msg);
+  alerts_counter_.add(1);
+  if (tracing_on()) {
+    if (Tracer* tracer = process_tracer()) {
+      tracer->instant("health.stall", "health", now_us(), thread_track(), entry.name);
+    }
+  }
+}
+
+void Watchdog::recovered(const Entry& entry) {
+  SPICE_INFO("watchdog: '" + entry.name + "' recovered");
+  if (tracing_on()) {
+    if (Tracer* tracer = process_tracer()) {
+      tracer->instant("health.recovered", "health", now_us(), thread_track(), entry.name);
+    }
+  }
+}
+
+std::size_t Watchdog::poll() {
+  std::lock_guard lock(mutex_);
+  polls_counter_.add(1);
+  const double now = now_us();
+  std::size_t fired = 0;
+  for (Entry& entry : entries_) {
+    double last_progress_us;
+    if (entry.heartbeat != nullptr) {
+      last_progress_us = entry.heartbeat->last_beat_us();
+    } else {
+      const std::uint64_t value = entry.counter->value();
+      if (value != entry.last_value) {
+        entry.last_value = value;
+        entry.last_progress_us = now;
+      }
+      last_progress_us = entry.last_progress_us;
+    }
+    const double silent_s = (now - last_progress_us) * 1e-6;
+    if (!entry.stalled && silent_s > entry.deadline_s) {
+      entry.stalled = true;
+      ++entry.alerts;
+      ++total_alerts_;
+      ++fired;
+      alert(entry, silent_s);
+    } else if (entry.stalled && silent_s <= entry.deadline_s) {
+      entry.stalled = false;  // re-arm: the next stall episode alerts again
+      recovered(entry);
+    }
+  }
+  return fired;
+}
+
+void Watchdog::start() {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread(&Watchdog::thread_main, this);
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mutex_);
+  running_ = false;
+}
+
+void Watchdog::thread_main() {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait_for(lock,
+                   std::chrono::microseconds(
+                       static_cast<std::int64_t>(config_.period_s * 1e6)),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    poll();
+  }
+}
+
+std::vector<HealthStatus> Watchdog::status() const {
+  std::lock_guard lock(mutex_);
+  const double now = now_us();
+  std::vector<HealthStatus> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    const double last = entry.heartbeat != nullptr ? entry.heartbeat->last_beat_us()
+                                                   : entry.last_progress_us;
+    out.push_back({entry.name, entry.stalled, (now - last) * 1e-6, entry.deadline_s,
+                   entry.alerts});
+  }
+  return out;
+}
+
+std::uint64_t Watchdog::alert_count() const {
+  std::lock_guard lock(mutex_);
+  return total_alerts_;
+}
+
+}  // namespace spice::obs

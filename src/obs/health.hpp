@@ -1,0 +1,133 @@
+#pragma once
+// spice::obs — subsystem liveness: heartbeats + stall watchdog (DESIGN.md §8).
+//
+// Two ways for a subsystem to prove it is alive:
+//
+//   * Heartbeat — an explicit handle the subsystem stamps (one relaxed
+//     atomic store) at natural progress points: a pipeline phase boundary,
+//     a completed campaign pull, an exporter tick.
+//   * Counter probe — the watchdog watches an existing obs counter
+//     (md.engine.steps, pool.parallel_for.calls, ...) and treats "value
+//     unchanged across the deadline" as a stall. The hot path needs no new
+//     instrumentation; whatever already counts progress is the proof.
+//
+// The Watchdog polls all registered entries — manually (poll(), for
+// deterministic tests and single-threaded drivers) or from a background
+// thread (start()/stop()). Alerts are edge-triggered: one alert when an
+// entry crosses Healthy → Stalled, none while it stays stalled, and the
+// entry re-arms when progress resumes. Each alert goes to the log
+// (SPICE_WARN), to the process tracer as an instant event (category
+// "health"), and onto the obs.health.alerts counter.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace spice::obs {
+
+/// Liveness stamp a subsystem beats at progress points. Handles returned
+/// by Watchdog::heartbeat stay valid for the watchdog's lifetime; beat()
+/// is safe from any thread and costs one relaxed store.
+class Heartbeat {
+ public:
+  void beat() { bits_.store(pack(now_us()), std::memory_order_relaxed); }
+  /// Microseconds of the most recent beat (process uptime clock); the
+  /// registration time until the first beat.
+  [[nodiscard]] double last_beat_us() const {
+    return unpack(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class Watchdog;
+  static std::uint64_t pack(double us);
+  static double unpack(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Point-in-time liveness of one watched entry (status() report rows).
+struct HealthStatus {
+  std::string name;
+  bool stalled = false;
+  double silent_s = 0.0;        ///< time since last observed progress
+  double deadline_s = 0.0;
+  std::uint64_t alerts = 0;     ///< stall episodes so far for this entry
+};
+
+struct WatchdogConfig {
+  /// Deadline applied when an entry is registered with deadline_s <= 0.
+  double default_deadline_s = 5.0;
+  /// Background poll cadence for start(); poll() ignores it.
+  double period_s = 1.0;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config = {}, MetricsRegistry& registry = metrics());
+  /// Joins the background thread if running.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register a named heartbeat; the subsystem keeps the reference and
+  /// beats it. Counts as alive right now (registration = first beat).
+  Heartbeat& heartbeat(const std::string& name, double deadline_s = 0.0);
+
+  /// Watch an existing counter: progress = the summed value changing.
+  /// `counter` must outlive the watchdog (registry handles do).
+  void watch_counter(const std::string& name, const Counter& counter,
+                     double deadline_s = 0.0);
+
+  /// Check every entry once; fires edge-triggered alerts for new stalls.
+  /// Returns the number of alerts fired by this poll.
+  std::size_t poll();
+
+  /// Launch/stop the background polling thread. Idempotent.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::vector<HealthStatus> status() const;
+  /// Total stall alerts fired over the watchdog's lifetime.
+  [[nodiscard]] std::uint64_t alert_count() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double deadline_s = 0.0;
+    bool stalled = false;
+    std::uint64_t alerts = 0;
+    // Heartbeat entries own the handle; counter entries watch `counter`.
+    std::unique_ptr<Heartbeat> heartbeat;
+    const Counter* counter = nullptr;
+    std::uint64_t last_value = 0;      ///< counter entries
+    double last_progress_us = 0.0;     ///< counter entries
+  };
+
+  void alert(const Entry& entry, double silent_s);
+  void recovered(const Entry& entry);
+  void thread_main();
+
+  WatchdogConfig config_;
+  MetricsRegistry& registry_;
+  Counter& alerts_counter_;
+  Counter& polls_counter_;
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;  ///< deque: heartbeat references stay valid
+  std::uint64_t total_alerts_ = 0;
+
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace spice::obs

@@ -182,6 +182,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;  // std::map iteration order is sorted by name already
 }
 
+MetricsRegistry::Sizes MetricsRegistry::sizes() const {
+  std::lock_guard lock(mutex_);
+  return {counters_.size(), gauges_.size(), histograms_.size()};
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
   for (const auto& [_, c] : counters_) c->reset();

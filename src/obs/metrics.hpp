@@ -192,6 +192,14 @@ class MetricsRegistry {
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// Registered-metric counts per kind (self-monitoring gauges).
+  struct Sizes {
+    std::size_t counters = 0;
+    std::size_t gauges = 0;
+    std::size_t histograms = 0;
+  };
+  [[nodiscard]] Sizes sizes() const;
+
   /// Zero every metric (benches isolating phases). Handles stay valid.
   void reset();
 

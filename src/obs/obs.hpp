@@ -5,9 +5,13 @@
 //   * obs::metrics()           process-wide counters / gauges / histograms
 //   * SPICE_TRACE_SCOPE(...)   wall-clock spans on the process tracer
 //   * obs::Tracer              Chrome trace-event sink (real or DES clock)
+//   * obs::SnapshotExporter    periodic Prometheus + JSONL file export
+//   * obs::Watchdog            heartbeat/counter stall alerts
 //   * obs::set_*_enabled(...)  runtime kill switches (all default OFF)
 //
 // Build with -DSPICE_OBS=OFF to compile the instrumentation out entirely.
 
+#include "obs/export.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"

@@ -110,14 +110,38 @@ ComboResult run_combo(const spice::pore::TranslocationSystem& master, const Swee
   std::uint64_t combo_seed = spice::SplitMix64(config.seed).next();
   combo_seed = spice::SplitMix64(combo_seed ^ std::bit_cast<std::uint64_t>(kappa_pn)).next();
   combo_seed = spice::SplitMix64(combo_seed ^ std::bit_cast<std::uint64_t>(velocity_ns)).next();
+
+  const double temperature = config.system.md.temperature;
+  // Streaming JE diagnostics over the endpoint works; with the early-stop
+  // gate armed, the fixed equal-compute count becomes a ceiling instead of
+  // a quota. Pull works are deterministic given the seeds, so the stop
+  // decision is identical at any thread count.
+  spice::fe::ConvergenceConfig conv_config;
+  conv_config.temperature_k = temperature;
+  conv_config.target_error_kcal = config.early_stop_error_kcal;
+  conv_config.min_samples = std::max<std::size_t>(2, config.early_stop_min_samples);
+  spice::fe::ConvergenceTracker tracker(conv_config);
+  static obs::Gauge& error_gauge = obs::metrics().gauge("campaign.convergence.jackknife_error");
+  static obs::Gauge& ess_gauge = obs::metrics().gauge("campaign.convergence.ess");
+  static obs::Counter& early_stops = obs::metrics().counter("campaign.early_stops");
+
   for (std::size_t r = 0; r < result.samples; ++r) {
     const std::uint64_t replica_seed =
         spice::SplitMix64(combo_seed ^ static_cast<std::uint64_t>(r)).next();
     pulls.push_back(run_single_pull(master, config, kappa_pn, velocity_ns, replica_seed));
     result.md_steps += pulls.back().steps;
+    const spice::fe::ConvergenceState& state = tracker.add_work(spice::fe::endpoint_work(
+        pulls.back(), config.pull_distance, config.work_source));
+    error_gauge.set(state.jackknife_error);
+    ess_gauge.set(state.ess);
+    if (state.converged && pulls.size() < result.samples) {
+      result.early_stopped = true;
+      early_stops.add(1);
+      break;
+    }
   }
-
-  const double temperature = config.system.md.temperature;
+  result.samples = pulls.size();
+  result.convergence = tracker.state();
   const spice::fe::WorkEnsemble ensemble = spice::fe::grid_work_ensemble(
       pulls, config.pull_distance, config.grid_points, config.work_source);
   result.pmf =

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fe/convergence.hpp"
 #include "fe/error_analysis.hpp"
 #include "fe/jarzynski.hpp"
 #include "pore/system.hpp"
@@ -40,6 +41,15 @@ struct SweepConfig {
   /// numerically ideal alternative (used by the ablation bench).
   spice::fe::WorkSource work_source = spice::fe::WorkSource::SampledForce;
   std::size_t bootstrap_resamples = 64;
+  /// Convergence-gated early stop: when > 0, a combo stops adding replicas
+  /// as soon as the streaming JE jackknife error at λ_max (fe::
+  /// ConvergenceTracker) drops to this level (kcal/mol). The fixed
+  /// equal-compute counts from samples_for() remain the ceiling, so early
+  /// stop can only SAVE compute, never spend more. <= 0 (default) keeps
+  /// the fixed-replica behaviour exactly.
+  double early_stop_error_kcal = 0.0;
+  /// Floor on replicas before the early-stop predicate may fire.
+  std::size_t early_stop_min_samples = 4;
   std::uint64_t seed = 2005;
   spice::pore::TranslocationConfig system;  ///< base system; equilibrated once
 
@@ -63,6 +73,11 @@ struct ComboResult {
   double mean_sigma_stat = 0.0;
   double mean_dissipated_work = 0.0;      ///< ⟨W⟩ − ΔF at λ_max, kcal/mol
   std::uint64_t md_steps = 0;             ///< compute actually spent
+  /// Streaming diagnostics after the last pull (ΔF, σ_jack, Kish ESS, ...).
+  spice::fe::ConvergenceState convergence;
+  /// True when the convergence gate stopped the combo below its replica
+  /// budget (always false with early_stop_error_kcal <= 0).
+  bool early_stopped = false;
 };
 
 struct SweepResult {

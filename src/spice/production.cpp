@@ -7,6 +7,29 @@
 
 namespace spice::core {
 
+namespace {
+
+CampaignProgress make_progress(double sim_hours, const spice::grid::Federation& federation,
+                               const spice::grid::Broker& broker, bool final_frame) {
+  CampaignProgress progress;
+  progress.sim_hours = sim_hours;
+  progress.final_frame = final_frame;
+  progress.requested = broker.requested();
+  progress.completed = broker.completed();
+  progress.failed = broker.failed();
+  progress.held = broker.held_count();
+  progress.outstanding = broker.outstanding();
+  progress.sites.reserve(federation.sites().size());
+  for (const auto& site : federation.sites()) {
+    progress.sites.push_back({site->name(), site->queue_length(), site->running_count(),
+                              site->free_processors(), site->backlog_hours(),
+                              site->in_outage()});
+  }
+  return progress;
+}
+
+}  // namespace
+
 ProductionPlan plan_production_jobs(const SweepConfig& sweep, const MdCostModel& cost,
                                     std::size_t equal_replicas) {
   ProductionPlan plan;
@@ -85,7 +108,25 @@ ProductionExecution execute_on_federation(const ProductionPlan& plan,
   // contention rather than empty machines.
   events.run_until(24.0);
   broker.submit_all();
+
+  // Mission-control frames on the virtual clock: a self-rescheduling DES
+  // event snapshots broker + site state every interval. Pending frame
+  // events past completion are harmless — the drive loop below exits on
+  // broker.done() regardless of what is still queued.
+  std::function<void()> progress_tick;  // outlives every scheduled reference
+  if (options.on_progress && options.progress_interval_hours > 0.0) {
+    progress_tick = [&events, &federation, &broker, &options, &progress_tick] {
+      if (broker.done()) return;
+      options.on_progress(make_progress(events.now(), federation, broker, false));
+      events.after(options.progress_interval_hours, [&progress_tick] { progress_tick(); });
+    };
+    events.after(options.progress_interval_hours, [&progress_tick] { progress_tick(); });
+  }
+
   while (!broker.done() && events.step()) {
+  }
+  if (options.on_progress) {
+    options.on_progress(make_progress(events.now(), federation, broker, true));
   }
 
   ProductionExecution exec;

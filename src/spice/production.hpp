@@ -13,6 +13,7 @@
 // injection for the §V-C.4 security-breach scenario.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -45,6 +46,30 @@ struct SiteOutage {
   double duration_hours = 0.0;
 };
 
+/// One site's scheduler state inside a progress snapshot.
+struct SiteProgress {
+  std::string name;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  int free_processors = 0;
+  double backlog_hours = 0.0;
+  bool in_outage = false;
+};
+
+/// Mid-campaign snapshot handed to ExecutionOptions::on_progress — the
+/// raw material for a mission-control dashboard frame (viz/dashboard.hpp;
+/// viz cannot link grid, so this mapping lives here).
+struct CampaignProgress {
+  double sim_hours = 0.0;   ///< DES virtual time of the snapshot
+  bool final_frame = false; ///< true for the once-at-completion call
+  std::size_t requested = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t held = 0;
+  std::size_t outstanding = 0;
+  std::vector<SiteProgress> sites;
+};
+
 struct ExecutionOptions {
   spice::grid::BrokerPolicy policy = spice::grid::BrokerPolicy::LeastBacklog;
   std::string single_site;               ///< for BrokerPolicy::SingleSite
@@ -62,6 +87,12 @@ struct ExecutionOptions {
   /// afterwards to view the campaign as a Gantt chart in Perfetto. Not
   /// owned; must outlive the call.
   spice::obs::Tracer* tracer = nullptr;
+  /// Mission control: when set (and progress_interval_hours > 0), called
+  /// with a CampaignProgress every interval of SIMULATED time while the
+  /// campaign runs, plus once at completion (final_frame = true). The DES
+  /// fires the callback deterministically, so frames are reproducible.
+  std::function<void(const CampaignProgress&)> on_progress;
+  double progress_interval_hours = 0.0;
 };
 
 struct ProductionExecution {

@@ -84,7 +84,14 @@ std::map<std::string, double> SteerableSimulation::monitored_parameters() {
   const Vec3 com =
       spice::md::center_of_mass(engine_.positions(), engine_.topology(), steered_atoms_);
   out["steered_com_z"] = com.z;
+  for (const auto& [name, provider] : monitors_) out[name] = provider();
   return out;
+}
+
+void SteerableSimulation::publish_monitor(const std::string& name,
+                                          std::function<double()> provider) {
+  SPICE_REQUIRE(provider != nullptr, "monitor provider must be callable");
+  monitors_[name] = std::move(provider);
 }
 
 double SteerableSimulation::steered_com_z() const {

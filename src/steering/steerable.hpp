@@ -48,6 +48,13 @@ class SteerableSimulation {
   /// z of the steered selection's COM (cheap; no energy recomputation).
   [[nodiscard]] double steered_com_z() const;
 
+  /// Publish an extra read-only monitor evaluated on every
+  /// monitored_parameters() call — how analysis-side diagnostics (the JE
+  /// convergence tracker's ΔF / σ_jack / ESS) reach the steering client
+  /// without the simulation layer depending on fe. Re-publishing a name
+  /// replaces its provider.
+  void publish_monitor(const std::string& name, std::function<double()> provider);
+
   // --- steerable parameters --------------------------------------------
   /// Register a named steerable scalar with a setter applied on
   /// SetParameter messages.
@@ -76,6 +83,7 @@ class SteerableSimulation {
   std::shared_ptr<spice::smd::ConstantForcePull> steering_force_;
   std::vector<SteeringMessage> inbox_;
   std::map<std::string, std::function<void(double)>> steerables_;
+  std::map<std::string, std::function<double()>> monitors_;
   std::map<std::string, spice::md::Checkpoint> checkpoints_;
   bool paused_ = false;
   bool stopped_ = false;

@@ -1,0 +1,231 @@
+// Streaming SMD-JE convergence tracker — correctness against closed-form
+// Jarzynski results, a hand-rolled jackknife, and the same live-MD
+// harmonic-well reference test_fe_jarzynski uses for the batch estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "fe/convergence.hpp"
+#include "fe/jarzynski.hpp"
+#include "md/engine.hpp"
+#include "smd/pulling.hpp"
+#include "smd/restraint.hpp"
+
+namespace {
+
+using namespace spice;
+using namespace spice::fe;
+
+/// Batch JE estimate −kT ln⟨e^{−βW}⟩ computed the slow, obvious way.
+double batch_je(const std::vector<double>& works, double temperature_k) {
+  const double kt = units::kT(temperature_k);
+  double sum = 0.0;
+  for (const double w : works) sum += std::exp(-w / kt);
+  return -kt * std::log(sum / static_cast<double>(works.size()));
+}
+
+/// Leave-one-out jackknife standard error of the JE estimate, brute force.
+double brute_jackknife(const std::vector<double>& works, double temperature_k) {
+  const std::size_t n = works.size();
+  std::vector<double> loo;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> rest;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) rest.push_back(works[j]);
+    }
+    loo.push_back(batch_je(rest, temperature_k));
+  }
+  double mean = 0.0;
+  for (const double v : loo) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : loo) var += (v - mean) * (v - mean);
+  var *= static_cast<double>(n - 1) / static_cast<double>(n);
+  return std::sqrt(var);
+}
+
+/// Synthetic pull with W(λ) = slope·λ and constant force (same shape the
+/// batch-estimator tests use).
+spice::smd::PullResult synthetic_pull(double lambda_max, std::size_t points, double slope) {
+  spice::smd::PullResult pull;
+  for (std::size_t i = 0; i < points; ++i) {
+    spice::smd::PullSample s;
+    s.lambda = lambda_max * static_cast<double>(i) / static_cast<double>(points - 1);
+    s.time = s.lambda;
+    s.work = slope * s.lambda;
+    s.force = slope;
+    pull.samples.push_back(s);
+  }
+  pull.pulled_distance = lambda_max;
+  pull.steps = points;
+  return pull;
+}
+
+// --- config validation -----------------------------------------------------
+
+TEST(ConvergenceTracker, RejectsBadConfig) {
+  ConvergenceConfig too_few;
+  too_few.min_samples = 1;
+  EXPECT_THROW(ConvergenceTracker{too_few}, PreconditionError);
+
+  ConvergenceConfig bad_alpha;
+  bad_alpha.ewma_alpha = 0.0;
+  EXPECT_THROW(ConvergenceTracker{bad_alpha}, PreconditionError);
+  bad_alpha.ewma_alpha = 1.5;
+  EXPECT_THROW(ConvergenceTracker{bad_alpha}, PreconditionError);
+}
+
+// --- streaming estimates ---------------------------------------------------
+
+TEST(ConvergenceTracker, EqualWorksCollapseToThatWork) {
+  ConvergenceTracker tracker({.temperature_k = 300.0});
+  for (int i = 0; i < 6; ++i) tracker.add_work(2.5);
+  const ConvergenceState& state = tracker.state();
+  EXPECT_EQ(state.samples, 6u);
+  EXPECT_NEAR(state.delta_f, 2.5, 1e-12);
+  EXPECT_NEAR(state.delta_f_ewma, 2.5, 1e-12);
+  EXPECT_NEAR(state.jackknife_error, 0.0, 1e-9);
+  EXPECT_NEAR(state.ess, 6.0, 1e-9);              // identical weights: full ESS
+  EXPECT_NEAR(state.mean_work, 2.5, 1e-12);
+  EXPECT_NEAR(state.dissipated_work, 0.0, 1e-9);  // ⟨W⟩ − ΔF
+}
+
+TEST(ConvergenceTracker, MatchesBatchEstimatorAndBruteJackknife) {
+  const std::vector<double> works = {1.2, 0.4, 2.1, 0.9, 1.6, 0.2, 1.1};
+  ConvergenceTracker tracker({.temperature_k = 300.0});
+  for (const double w : works) tracker.add_work(w);
+
+  const ConvergenceState& state = tracker.state();
+  EXPECT_NEAR(state.delta_f, batch_je(works, 300.0), 1e-9);
+  EXPECT_NEAR(state.jackknife_error, brute_jackknife(works, 300.0), 1e-9);
+
+  double mean = 0.0;
+  for (const double w : works) mean += w;
+  mean /= static_cast<double>(works.size());
+  EXPECT_NEAR(state.mean_work, mean, 1e-12);
+  EXPECT_NEAR(state.dissipated_work, mean - state.delta_f, 1e-12);
+  EXPECT_GT(state.ess, 1.0);
+  EXPECT_LT(state.ess, static_cast<double>(works.size()));  // unequal weights
+}
+
+TEST(ConvergenceTracker, EwmaTracksButLagsTheRunningEstimate) {
+  ConvergenceTracker tracker({.temperature_k = 300.0, .ewma_alpha = 0.5});
+  tracker.add_work(1.0);
+  // First sample initializes the EWMA to the running estimate.
+  EXPECT_NEAR(tracker.state().delta_f_ewma, tracker.state().delta_f, 1e-12);
+
+  const double before = tracker.state().delta_f;
+  tracker.add_work(5.0);  // running estimate moves; EWMA goes half-way
+  const ConvergenceState& state = tracker.state();
+  EXPECT_NEAR(state.delta_f_ewma, 0.5 * before + 0.5 * state.delta_f, 1e-12);
+}
+
+// --- convergence predicate -------------------------------------------------
+
+TEST(ConvergenceTracker, ConvergesOnlyPastFloorAndBelowTarget) {
+  ConvergenceConfig config;
+  config.target_error_kcal = 0.5;
+  config.min_samples = 4;
+  ConvergenceTracker tracker(config);
+
+  tracker.add_work(1.0);
+  tracker.add_work(1.0);
+  tracker.add_work(1.0);
+  EXPECT_FALSE(tracker.state().converged);  // σ_jack = 0 but below the floor
+  tracker.add_work(1.0);
+  EXPECT_TRUE(tracker.state().converged);   // floor met, error under target
+}
+
+TEST(ConvergenceTracker, TargetZeroIsDiagnosticsOnly) {
+  ConvergenceTracker tracker({});  // target_error_kcal = 0
+  for (int i = 0; i < 16; ++i) tracker.add_work(1.0);
+  EXPECT_NEAR(tracker.state().jackknife_error, 0.0, 1e-9);
+  EXPECT_FALSE(tracker.state().converged);
+}
+
+// --- endpoint work ---------------------------------------------------------
+
+TEST(EndpointWork, MatchesGridEnsembleEndpoint) {
+  const spice::smd::PullResult pull = synthetic_pull(10.0, 11, 2.0);
+  // Accumulated: W(λ_max) = slope·λ_max. SampledForce: trapezoid over a
+  // constant force is exact, so both agree.
+  EXPECT_NEAR(endpoint_work(pull, 10.0, WorkSource::Accumulated), 20.0, 1e-9);
+  EXPECT_NEAR(endpoint_work(pull, 10.0, WorkSource::SampledForce), 20.0, 1e-9);
+
+  // And both match the batch gridding at the last grid point.
+  const std::vector<spice::smd::PullResult> pulls{pull};
+  const WorkEnsemble e = grid_work_ensemble(pulls, 10.0, 21, WorkSource::Accumulated);
+  EXPECT_NEAR(endpoint_work(pull, 10.0, WorkSource::Accumulated), e.work[0].back(), 1e-9);
+}
+
+// --- live MD: analytic harmonic-well reference -----------------------------
+
+TEST(ConvergenceLiveMd, HarmonicWellDeltaFMatchesAnalyticValue) {
+  // Same protocol as JarzynskiLiveMd.HarmonicWellPullMatchesAnalyticProfile:
+  // particle in a well k_w pulled by a spring κ_p has
+  // F(λ) = ½ k_eff λ², k_eff = k_w κ_p/(k_w + κ_p). The STREAMING tracker
+  // must land on the same endpoint value the batch estimator reproduces.
+  const double k_well = 2.0;
+  const double kappa_pn = 300.0;
+  const double kappa_internal = units::spring_pn_per_angstrom(kappa_pn);
+  const double k_eff = k_well * kappa_internal / (k_well + kappa_internal);
+  const double lambda_max = 3.0;
+
+  ConvergenceConfig config;
+  config.target_error_kcal = 1.5;
+  config.min_samples = 6;
+  ConvergenceTracker tracker(config);
+
+  std::vector<double> works;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    spice::md::Topology topo;
+    topo.add_particle({.mass = 50.0, .charge = 0.0, .radius = 1.0});
+    spice::md::MdConfig cfg;
+    cfg.dt = 0.01;
+    cfg.friction = 2.0;
+    cfg.seed = 1700 + seed;
+    spice::md::Engine engine(std::move(topo), spice::md::NonbondedParams{}, cfg);
+    engine.set_positions(std::vector<Vec3>{{0, 0, 0}});
+    engine.initialize_velocities(300.0);
+
+    auto well = std::make_shared<spice::smd::StaticRestraint>(
+        std::vector<std::uint32_t>{0}, Vec3{0, 0, -1.0}, k_well, 0.0);
+    well->attach_reference({0, 0, 0});
+    engine.add_contribution(well);
+
+    spice::smd::SmdParams params;
+    params.spring_pn_per_angstrom = kappa_pn;
+    params.velocity_angstrom_per_ns = 250.0;
+    params.smd_atoms = {0};
+    params.hold_ps = 8.0;
+    auto pull = std::make_shared<spice::smd::ConstantVelocityPull>(params);
+    pull->attach(engine);
+    engine.add_contribution(pull);
+    const spice::smd::PullResult result =
+        spice::smd::run_pull(engine, *pull, lambda_max, 5);
+
+    const double w = endpoint_work(result, lambda_max, WorkSource::Accumulated);
+    works.push_back(w);
+    tracker.add_work(w);
+  }
+
+  const ConvergenceState& state = tracker.state();
+  EXPECT_EQ(state.samples, works.size());
+  // Streaming ΔF == batch JE over the same endpoint works, exactly.
+  EXPECT_NEAR(state.delta_f, batch_je(works, 300.0), 1e-9);
+  // And both sit on the analytic value (kT-scale tolerance, as in the
+  // batch test: ξ starts at the thermal position, not the well centre).
+  EXPECT_NEAR(state.delta_f, 0.5 * k_eff * lambda_max * lambda_max, 0.9);
+  // Diagnostics are sane for a real dissipative ensemble.
+  EXPECT_GT(state.jackknife_error, 0.0);
+  EXPECT_GT(state.ess, 1.0);
+  EXPECT_LE(state.ess, static_cast<double>(works.size()) + 1e-9);
+  EXPECT_GT(state.dissipated_work, -0.5);  // ⟨W⟩ ≥ ΔF up to noise
+}
+
+}  // namespace
