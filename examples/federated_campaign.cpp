@@ -22,6 +22,7 @@
 #include "common/log.hpp"
 #include "obs/obs.hpp"
 #include "spice/pipeline.hpp"
+#include "testkit/testkit.hpp"
 #include "viz/dashboard.hpp"
 #include "viz/metrics_table.hpp"
 
@@ -182,6 +183,63 @@ int main() {
   for (const auto& combo : production.sweep.combos) early_stopped += combo.early_stopped;
   std::printf("early stop: %zu/%zu cells converged below their replica budget\n",
               early_stopped, production.sweep.combos.size());
+
+  // ----- validation: testkit physics spot-checks --------------------------
+  // A fast slice of the physics-validation suite runs inside the campaign
+  // binary so drift surfaces on the SAME telemetry the dashboard and
+  // exporter already carry: every testkit comparator feeds the
+  // testkit.checks.* / testkit.golden.* counters, which the snapshot
+  // exporter streams to the .prom/.jsonl files alongside the campaign
+  // metrics.
+  std::printf("\n===== VALIDATION (testkit spot-checks) =====\n");
+  {
+    namespace tk = spice::testkit;
+
+    // Determinism: the canonical 24-bead system must be bit-identical
+    // across thread counts, observables and checkpoint hash alike.
+    const tk::GoldenRecord serial = tk::run_golden("chain24", {.threads = 1});
+    const tk::GoldenRecord parallel = tk::run_golden("chain24", {.threads = 8});
+    const tk::GoldenDrift drift =
+        tk::compare_golden(parallel, serial, tk::GoldenLevel::Bitwise);
+    std::printf("  golden chain24, 1 vs 8 threads (bitwise): %s\n",
+                drift.ok ? "identical" : "DRIFT");
+
+    // Forces are the energy gradient (the sharpest cheap detector of a
+    // force-field regression — a 1%% scaling bug moves this by ~6 orders).
+    const double fd = tk::force_energy_fd_error({.seed = 909});
+    const tk::CheckResult fd_check =
+        tk::check(fd < 2e-5, "force/energy finite-difference consistency");
+    std::printf("  force vs -dE/dx finite difference: %.2e %s\n", fd,
+                fd_check.passed ? "(consistent)" : "(INCONSISTENT)");
+
+    // Statistical invariants on the analytic harmonic-well array: kinetic
+    // temperature and configurational equipartition ⟨kx²⟩/kT = 1.
+    const tk::WellArraySpec spec;
+    const tk::EquilibriumSamples eq = tk::sample_well_array(
+        {.seed = 20260806}, spec, {.equilibration_steps = 600, .snapshots = 60, .stride = 30});
+    const tk::CheckResult kinetic =
+        tk::z_test_mean(eq.temperatures, spec.temperature);
+    const tk::CheckResult configurational =
+        tk::z_test_mean(eq.position_energy_ratio, 1.0);
+    std::printf("  equipartition (kinetic):         z = %.2f %s\n", kinetic.statistic,
+                kinetic.passed ? "(ok)" : "(FAIL)");
+    std::printf("  equipartition (configurational): z = %.2f %s\n",
+                configurational.statistic, configurational.passed ? "(ok)" : "(FAIL)");
+
+    const auto validation = obs::metrics().snapshot();
+    const auto checks_total = validation.counter_value("testkit.checks.total");
+    const auto checks_failed = validation.counter_value("testkit.checks.failed");
+    const auto golden_compared = validation.counter_value("testkit.golden.compared");
+    const auto golden_drifted = validation.counter_value("testkit.golden.drifted");
+    std::printf("  counters: testkit.checks %llu/%llu failed, testkit.golden %llu/%llu "
+                "drifted — %s\n",
+                static_cast<unsigned long long>(checks_failed),
+                static_cast<unsigned long long>(checks_total),
+                static_cast<unsigned long long>(golden_drifted),
+                static_cast<unsigned long long>(golden_compared),
+                checks_failed == 0 && golden_drifted == 0 ? "VALIDATION OK"
+                                                          : "VALIDATION DRIFT");
+  }
 
   // ----- observability dump -----------------------------------------------
   watchdog.stop();

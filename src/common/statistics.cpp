@@ -138,6 +138,27 @@ double Histogram::bin_center(std::size_t i) const {
   return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
 }
 
+BlockAverageResult block_average(std::span<const double> xs, std::size_t block_count) {
+  SPICE_REQUIRE(xs.size() >= 4, "block average needs at least 4 samples");
+  SPICE_REQUIRE(block_count >= 2, "block average needs at least 2 blocks");
+  // Clamp so every block holds ≥ 2 samples; integer division would
+  // otherwise hand out size-0/1 blocks whenever samples < 2·block_count.
+  block_count = std::min(block_count, xs.size() / 2);
+  const std::size_t block_size = xs.size() / block_count;
+  RunningStats block_means;
+  for (std::size_t b = 0; b < block_count; ++b) {
+    RunningStats block;
+    for (std::size_t i = b * block_size; i < (b + 1) * block_size; ++i) block.add(xs[i]);
+    block_means.add(block.mean());
+  }
+  BlockAverageResult out;
+  out.block_count = block_count;
+  out.block_size = block_size;
+  out.mean = block_means.mean();
+  out.std_error = block_means.std_error();
+  return out;
+}
+
 double integrated_autocorrelation_time(std::span<const double> xs) {
   SPICE_REQUIRE(xs.size() >= 4, "autocorrelation needs at least 4 samples");
   const double mu = mean(xs);

@@ -90,4 +90,27 @@ class Histogram {
 /// by convention τ_int = 1/2 + Σ ρ(t). Requires at least 4 samples.
 [[nodiscard]] double integrated_autocorrelation_time(std::span<const double> xs);
 
+/// Result of a block-average (Flyvbjerg–Petersen) error analysis of a
+/// possibly autocorrelated series.
+struct BlockAverageResult {
+  std::size_t block_count = 0;  ///< blocks actually used (see block_average)
+  std::size_t block_size = 0;   ///< samples per block (trailing remainder dropped)
+  double mean = 0.0;            ///< mean over the blocked samples
+  double std_error = 0.0;       ///< SE of the mean from the scatter of block means
+};
+
+/// Block-averaged standard error of the mean: split `xs` into
+/// `block_count` contiguous blocks, and take std_error of the block means.
+/// For a series whose autocorrelation time is shorter than a block, this
+/// is an honest error bar where the naive SE underestimates.
+///
+/// The requested block count is a ceiling, not a contract: when
+/// xs.size() < 2·block_count the count is clamped so every block holds at
+/// least two samples (blocks of size 0/1 would make the block-mean
+/// variance degenerate — a guard added after exactly that edge case
+/// produced std_error = 0 for short series). Requires xs.size() ≥ 4 and
+/// block_count ≥ 2.
+[[nodiscard]] BlockAverageResult block_average(std::span<const double> xs,
+                                               std::size_t block_count);
+
 }  // namespace spice

@@ -18,6 +18,8 @@
 // (pulling velocity); the conversion helpers below are the single source
 // of truth for moving between the paper's units and internal units.
 
+#include <cmath>
+
 namespace spice::units {
 
 /// Boltzmann constant in kcal/(mol·K).
@@ -29,6 +31,27 @@ inline constexpr double kPicoNewtonPerKcalMolAngstrom = 69.4786;
 
 /// Coulomb constant in kcal·Å/(mol·e²): k_e e²/Å in kcal/mol.
 inline constexpr double kCoulomb = 332.0637;
+
+/// 1 amu·(Å/ps)² expressed in kcal/mol — converts m·v² to energy units.
+/// The integrator and every analytic kinetic reference (Maxwell–Boltzmann
+/// σ_v, Langevin diffusion constant) must agree on this one number.
+inline constexpr double kMv2ToKcalMol = 0.0023900574;
+
+/// Acceleration per unit force/mass: (kcal/mol/Å) / amu → Å/ps².
+inline constexpr double kForceOverMassToAcc = 1.0 / kMv2ToKcalMol;
+
+/// Maxwell–Boltzmann per-component velocity σ (Å/ps) at temperature T for
+/// mass m (amu): σ_v = √(kT / (m·kMv2ToKcalMol)).
+[[nodiscard]] inline double thermal_velocity_sigma(double temperature_k, double mass_amu) {
+  return std::sqrt(kB * temperature_k / (mass_amu * kMv2ToKcalMol));
+}
+
+/// Langevin free diffusion constant D = kT/(mγ) in Å²/ps for mass m (amu)
+/// and friction γ (1/ps).
+[[nodiscard]] constexpr double langevin_diffusion(double temperature_k, double mass_amu,
+                                                  double friction_per_ps) {
+  return kB * temperature_k / (mass_amu * friction_per_ps * kMv2ToKcalMol);
+}
 
 /// Convert a spring constant given in pN/Å (paper units) to kcal/mol/Å².
 [[nodiscard]] constexpr double spring_pn_per_angstrom(double k_pn) {

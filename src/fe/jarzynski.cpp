@@ -31,15 +31,6 @@ double work_at_lambda(const spice::smd::PullResult& pull, double lambda) {
 }
 }  // namespace
 
-namespace {
-/// Replace each sample's work with the trapezoidal integral of the
-/// recorded spring force over the ANCHOR path:
-/// W(λ_k) = Σ ½(F_i + F_{i+1})·(λ_{i+1} − λ_i).
-/// Integrating over λ rather than F·v̄·dt matters whenever the anchor is
-/// not in uniform motion — with SmdParams::hold_ps > 0 the spring is
-/// stationary at first (dλ = 0, dW = 0 regardless of the settling force),
-/// and a time-based integral with the average velocity over-accumulates
-/// work during that phase.
 spice::smd::PullResult reintegrate_from_force(const spice::smd::PullResult& pull) {
   spice::smd::PullResult out = pull;
   double w = 0.0;
@@ -52,7 +43,6 @@ spice::smd::PullResult reintegrate_from_force(const spice::smd::PullResult& pull
   if (!out.samples.empty()) out.samples.front().work = 0.0;
   return out;
 }
-}  // namespace
 
 WorkEnsemble grid_work_ensemble(std::span<const spice::smd::PullResult> pulls, double lambda_max,
                                 std::size_t points, WorkSource source) {

@@ -45,6 +45,16 @@ enum class WorkSource {
   SampledForce,
 };
 
+/// The WorkSource::SampledForce primitive: replace each sample's work with
+/// the trapezoidal integral of the recorded spring force over the ANCHOR
+/// path, W(λ_k) = Σ ½(F_i + F_{i+1})·(λ_{i+1} − λ_i). Integrating over λ
+/// rather than F·v̄·dt matters whenever the anchor is not in uniform
+/// motion — with SmdParams::hold_ps > 0 the spring is stationary at first
+/// (dλ = 0, so dW = 0 regardless of the settling force), and a time-based
+/// integral would over-accumulate work during that phase.
+[[nodiscard]] spice::smd::PullResult reintegrate_from_force(
+    const spice::smd::PullResult& pull);
+
 /// Linearly interpolate each pull's W(λ) onto `points` evenly spaced grid
 /// values in [0, lambda_max]. Every pull must reach lambda_max.
 [[nodiscard]] WorkEnsemble grid_work_ensemble(std::span<const spice::smd::PullResult> pulls,

@@ -14,16 +14,18 @@
 namespace spice::md {
 
 namespace {
-/// kcal/mol per amu·(Å/ps)²: converts m·v² to energy.
-constexpr double kMv2ToKcalMol = 0.0023900574;
+/// kcal/mol per amu·(Å/ps)²: converts m·v² to energy. Shared with the
+/// analytic references in common/units so the integrator and the physics
+/// invariant suite can never disagree on the kinetic unit.
+constexpr double kMv2ToKcalMol = units::kMv2ToKcalMol;
 /// Å/ps² per (kcal/mol/Å)/amu: converts F/m to acceleration.
-constexpr double kForceOverMassToAcc = 1.0 / kMv2ToKcalMol;
+constexpr double kForceOverMassToAcc = units::kForceOverMassToAcc;
 /// Fixed slice count for the force pipeline — independent of thread count
 /// so the summation order (and thus the trajectory) never changes.
 constexpr std::size_t kForceSlices = 16;
 
 constexpr std::uint32_t kCheckpointMagic = 0x53504943;  // "SPIC"
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 }  // namespace
 
 Engine::Engine(Topology topology, NonbondedParams nonbonded, MdConfig config)
@@ -461,6 +463,14 @@ Checkpoint Engine::checkpoint() const {
   w.write_u64(config_.seed);
   w.write_vec3_span(state_.positions());
   w.write_vec3_span(state_.velocities());
+  // Neighbour-list reference positions (v2): the rebuild schedule and the
+  // cell-table iteration order — and with them the floating-point
+  // accumulation order of the nonbonded forces — are functions of the
+  // positions the list was last built from. Without them a restored
+  // engine rebuilds on its own cadence and the continuation drifts in the
+  // last bits (caught by the testkit checkpoint-replay property at high
+  // seed counts).
+  w.write_vec3_span(neighbor_list_->reference_positions());
   return Checkpoint{w.take()};
 }
 
@@ -478,6 +488,14 @@ void Engine::restore(const Checkpoint& snapshot) {
   SPICE_ENSURE(xs.size() == n && vs.size() == n, "corrupt checkpoint");
   state_.set_positions(xs);
   state_.set_velocities(vs);
+  const std::vector<Vec3> refs = r.read_vec3_vector();
+  SPICE_ENSURE(refs.empty() || refs.size() == n, "corrupt checkpoint");
+  // Rebuild the neighbour list from the snapshot's reference positions so
+  // the displacement criterion and the cell-table iteration order continue
+  // exactly as they would have in the checkpointed engine. An empty
+  // reference means the original had never built its list; building from
+  // the restored positions matches what its first evaluation would do.
+  neighbor_list_->rebuild(std::span<const Vec3>(refs.empty() ? xs : refs), topology_);
   forces_current_ = false;
 }
 

@@ -171,8 +171,14 @@ void NonbondedKernel::refresh_segment(const KernelContext& ctx, std::size_t slic
   (void)slice_count;
   SliceSegment& seg = segments_[slice];
   seg.pairs.clear();
-  const auto xs = ctx.state->positions();
   const NeighborList& list = *ctx.neighbors;
+  // Filter against the positions the cell bins were built from, not the
+  // current ones. On the normal path they are the same array (a refresh
+  // always follows a rebuild within one evaluation), but after a
+  // checkpoint restore the list is rebuilt from the snapshot's reference
+  // positions — filtering against those keeps the segment a pure function
+  // of the cell table, so a restored engine replays bit-exactly.
+  const auto xs = list.reference_positions();
   const double reach = list.cutoff() + list.skin();
   const double reach2 = reach * reach;
   std::size_t lo = ctx.state->size();

@@ -58,6 +58,14 @@ class NeighborList {
   [[nodiscard]] double cutoff() const { return cutoff_; }
   [[nodiscard]] double skin() const { return skin_; }
   [[nodiscard]] std::size_t rebuild_count() const { return rebuilds_; }
+  /// Positions the cell bins were built from (empty before the first
+  /// build). The displacement criterion measures against these, and the
+  /// engine checkpoints them: rebuilding from the same reference positions
+  /// reproduces the cell table — and thus every downstream pair iteration
+  /// order — bit-exactly, which is what makes restore() replay-exact.
+  [[nodiscard]] std::span<const Vec3> reference_positions() const {
+    return reference_positions_;
+  }
   /// Monotonic build counter; changes exactly when the cell bins change.
   /// Kernels key their cached slice pair segments on this.
   [[nodiscard]] std::uint64_t epoch() const { return rebuilds_; }

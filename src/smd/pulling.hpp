@@ -34,7 +34,11 @@ struct SmdParams {
   /// Hold the anchor at λ = 0 for this long after attach before moving —
   /// equilibrates the system WITH the spring so the pull starts from the
   /// λ = 0 equilibrium ensemble Jarzynski's identity assumes. No work
-  /// accumulates while the anchor is stationary (dλ = 0).
+  /// accumulates while the anchor is stationary (dλ = 0). Offline work
+  /// pipelines must preserve this: re-integrating the recorded force
+  /// series over time (F·v̄·dt) counts the settle-phase forces as work;
+  /// fe::reintegrate_from_force integrates over the anchor path instead,
+  /// which is what makes WorkSource::SampledForce hold-safe.
   double hold_ps = 0.0;
 
   /// κ in internal units (kcal/mol/Å²).

@@ -1,0 +1,87 @@
+#pragma once
+// Golden-trajectory regression: canonical systems run under fixed seeds,
+// reduced to a compact committed record — an FNV-1a hash of the checkpoint
+// byte stream plus a set of scalar observables printed with %.17g (exact
+// double round-trip). The comparator is a tolerance ladder:
+//
+//   Bitwise      — hash and every observable must match exactly. Used for
+//                  same-process reruns (thread-count invariance, restart
+//                  equivalence): any mismatch is a determinism break.
+//   NormBounded  — observables within abs/rel bounds; the hash is reported
+//                  but not enforced. Used against the records committed in
+//                  tests/golden/, which must survive compiler/libm
+//                  differences and deliberate refactors that reorder
+//                  floating-point sums.
+//
+// `spice_golden --regen` rewrites the committed records; the drift report
+// names each observable's deviation so a reviewer can tell a 1e-15
+// reassociation from a physics change.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "testkit/systems.hpp"
+
+namespace spice::testkit {
+
+enum class GoldenLevel {
+  Bitwise,      ///< exact: same build, same process expectations
+  NormBounded,  ///< tolerance-bounded: committed cross-build records
+};
+
+struct GoldenObservable {
+  std::string name;
+  double value = 0.0;
+};
+
+struct GoldenRecord {
+  std::string system;                 ///< registry name
+  std::string config;                 ///< provenance one-liner (seed, steps, dt)
+  std::uint64_t checkpoint_hash = 0;  ///< FNV-1a 64 over the checkpoint bytes
+  std::size_t checkpoint_size = 0;    ///< byte count (cheap structural check)
+  std::vector<GoldenObservable> observables;
+};
+
+/// FNV-1a 64-bit hash (the golden fingerprint of a checkpoint stream).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Serialize to / parse from the committed text format (%.17g doubles —
+/// format→parse is value-exact, so Bitwise comparison through a file is
+/// meaningful).
+[[nodiscard]] std::string format_golden(const GoldenRecord& record);
+[[nodiscard]] GoldenRecord parse_golden(const std::string& text);
+
+[[nodiscard]] GoldenRecord load_golden(const std::string& path);
+void write_golden(const std::string& path, const GoldenRecord& record);
+
+/// Per-observable drift report from one comparison.
+struct GoldenDrift {
+  bool ok = true;
+  std::vector<std::string> lines;  ///< one line per checked quantity
+  /// Multi-line human-readable report (drift tool, CI artifact).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compare `current` against `reference` at the given rung of the ladder.
+/// Feeds testkit.golden.compared / testkit.golden.drifted obs counters.
+[[nodiscard]] GoldenDrift compare_golden(const GoldenRecord& current,
+                                         const GoldenRecord& reference, GoldenLevel level,
+                                         double rel_tol = 1e-6, double abs_tol = 1e-9);
+
+/// Names of the registered golden systems (stable, sorted).
+[[nodiscard]] std::vector<std::string> golden_system_names();
+
+/// Run one registered system and produce its record. `run.seed` is
+/// ignored — golden seeds are fixed per system so records are portable.
+[[nodiscard]] GoldenRecord run_golden(const std::string& system, const MdRunConfig& run = {});
+
+/// Directory holding the committed records: $SPICE_GOLDEN_DIR if set,
+/// otherwise `fallback` (test binaries pass their source-tree path).
+[[nodiscard]] std::string default_golden_dir(const std::string& fallback = "");
+
+/// `<dir>/<system>.golden`.
+[[nodiscard]] std::string golden_path(const std::string& dir, const std::string& system);
+
+}  // namespace spice::testkit

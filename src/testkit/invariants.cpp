@@ -1,0 +1,128 @@
+#include "testkit/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace spice::testkit {
+
+namespace {
+
+double component(const Vec3& v, int axis) {
+  switch (axis) {
+    case 0: return v.x;
+    case 1: return v.y;
+    default: return v.z;
+  }
+}
+
+void set_component(Vec3& v, int axis, double value) {
+  switch (axis) {
+    case 0: v.x = value; break;
+    case 1: v.y = value; break;
+    default: v.z = value; break;
+  }
+}
+
+}  // namespace
+
+EquilibriumSamples sample_well_array(const MdRunConfig& run, const WellArraySpec& spec,
+                                     const EquilibriumProtocol& protocol) {
+  WellArray array = make_well_array(run, spec);
+  array.engine.step(protocol.equilibration_steps);
+
+  const double kt = units::kT(spec.temperature);
+  const double sigma_x = well_position_sigma(spec);
+  const double sigma_v = units::thermal_velocity_sigma(spec.temperature, spec.mass);
+  const std::vector<Vec3>& anchors = array.wells->anchors();
+
+  EquilibriumSamples samples;
+  samples.temperatures.reserve(protocol.snapshots);
+  samples.scaled_positions.reserve(protocol.snapshots * spec.particles * 3);
+  samples.scaled_velocities.reserve(protocol.snapshots * spec.particles * 3);
+  samples.position_energy_ratio.reserve(protocol.snapshots);
+
+  for (std::size_t s = 0; s < protocol.snapshots; ++s) {
+    array.engine.step(protocol.stride);
+    samples.temperatures.push_back(array.engine.instantaneous_temperature());
+    const std::span<const Vec3> xs = array.engine.positions();
+    const std::span<const Vec3> vs = array.engine.velocities();
+    double ratio_sum = 0.0;
+    for (std::size_t i = 0; i < spec.particles; ++i) {
+      const Vec3 dx = xs[i] - anchors[i];
+      for (int axis = 0; axis < 3; ++axis) {
+        const double x = component(dx, axis);
+        samples.scaled_positions.push_back(x / sigma_x);
+        samples.scaled_velocities.push_back(component(vs[i], axis) / sigma_v);
+        ratio_sum += spec.stiffness * x * x / kt;
+      }
+    }
+    samples.position_energy_ratio.push_back(ratio_sum /
+                                            static_cast<double>(spec.particles * 3));
+  }
+  return samples;
+}
+
+std::vector<double> sample_msd(const MdRunConfig& run, double t_ps,
+                               const WellArraySpec& spec) {
+  SPICE_REQUIRE(t_ps > 0.0, "MSD horizon must be positive");
+  md::Engine engine = make_free_array(run, spec);
+  const std::vector<Vec3> start(engine.positions().begin(), engine.positions().end());
+  const auto steps = static_cast<std::size_t>(std::llround(t_ps / spec.dt));
+  engine.step(steps);
+  const std::span<const Vec3> end = engine.positions();
+  std::vector<double> msd;
+  msd.reserve(start.size());
+  for (std::size_t i = 0; i < start.size(); ++i) msd.push_back((end[i] - start[i]).norm2());
+  return msd;
+}
+
+double force_energy_fd_error(const MdRunConfig& run) {
+  md::Engine engine = make_bead_chain(run);
+  constexpr double kStep = 1e-4;  // central difference: O(h²) ≈ 1e-8 relative
+
+  const std::vector<Vec3> base(engine.positions().begin(), engine.positions().end());
+  engine.compute_energies();
+  const std::vector<Vec3> forces(engine.forces().begin(), engine.forces().end());
+
+  // Typical force magnitude sets the relative-error scale so near-zero
+  // force components don't inflate the metric.
+  double force_scale = 0.0;
+  for (const Vec3& f : forces) force_scale = std::max(force_scale, f.norm());
+  force_scale = std::max(force_scale, 1.0);
+
+  double worst = 0.0;
+  // A spread of probe particles covers bond/angle/dihedral interiors and
+  // the chain ends; all three axes each.
+  for (const std::size_t p : {std::size_t{0}, std::size_t{5}, std::size_t{11},
+                              std::size_t{17}, std::size_t{23}}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      std::vector<Vec3> xs = base;
+      set_component(xs[p], axis, component(base[p], axis) + kStep);
+      engine.set_positions(xs);
+      const double e_plus = engine.compute_energies().total();
+      set_component(xs[p], axis, component(base[p], axis) - kStep);
+      engine.set_positions(xs);
+      const double e_minus = engine.compute_energies().total();
+      const double fd_force = -(e_plus - e_minus) / (2.0 * kStep);
+      worst = std::max(worst,
+                       std::abs(fd_force - component(forces[p], axis)) / force_scale);
+    }
+  }
+  return worst;
+}
+
+double nve_energy_drift(const MdRunConfig& run, std::size_t steps) {
+  MdRunConfig nve = run;
+  nve.integrator = md::IntegratorKind::VelocityVerlet;
+  md::Engine engine = make_nve_chain(nve);
+  const double e0 = engine.compute_energies().total() + engine.kinetic_energy();
+  engine.step(steps);
+  const double e1 = engine.compute_energies().total() + engine.kinetic_energy();
+  return std::abs(e1 - e0) / std::max(std::abs(e0), 1.0);
+}
+
+}  // namespace spice::testkit

@@ -1,0 +1,65 @@
+#pragma once
+// Physics-invariant samplers: each runs a canonical system (systems.hpp)
+// and returns observables with a CLOSED-FORM expectation, normalized so
+// the stat_assert comparators can state the law directly:
+//
+//   equipartition          ⟨T_inst⟩            = T_target
+//   Maxwell–Boltzmann      v/σ_v               ~ N(0, 1)
+//   harmonic well          ⟨k·x²/kT⟩           = 1     (per axis)
+//   free diffusion         ⟨|Δr|²⟩             = 6D(t − (1−e^{−γt})/γ)
+//   force consistency      F                   = −∇U   (finite difference)
+//   NVE                    E(t)                = E(0)  (bounded drift)
+//
+// The configurational rows are the regression teeth: a mis-scaled force
+// (F → s·F) leaves every kinetic observable untouched (the Langevin
+// thermostat re-imposes T) but shifts each configurational one by exactly
+// 1/s — so a 1 % force bug lands many σ outside the suite's gates.
+
+#include <cstdint>
+#include <vector>
+
+#include "testkit/systems.hpp"
+
+namespace spice::testkit {
+
+/// Snapshots of a well-array equilibrium trajectory, pre-normalized.
+struct EquilibriumSamples {
+  /// Instantaneous kinetic temperature per snapshot, K.
+  std::vector<double> temperatures;
+  /// Per-axis displacement from the anchor, in units of √(kT/k): expected
+  /// standard normal in equilibrium.
+  std::vector<double> scaled_positions;
+  /// Per-axis velocity in units of σ_v = √(kT/m): expected standard normal.
+  std::vector<double> scaled_velocities;
+  /// Per-snapshot mean of k·x²/kT over all axes: expectation exactly 1.
+  std::vector<double> position_energy_ratio;
+};
+
+struct EquilibriumProtocol {
+  std::size_t equilibration_steps = 1200;
+  std::size_t snapshots = 150;
+  std::size_t stride = 30;  ///< steps between snapshots (≈ 1/γ decorrelation)
+};
+
+/// Equilibrate a well array and harvest normalized position/velocity
+/// samples. One call yields particles × snapshots × 3 axis samples.
+[[nodiscard]] EquilibriumSamples sample_well_array(const MdRunConfig& run,
+                                                   const WellArraySpec& spec = {},
+                                                   const EquilibriumProtocol& protocol = {});
+
+/// Run a free array for `t_ps` and return each particle's squared
+/// displacement |Δr|² (Å²); compare the mean against free_msd_expected.
+[[nodiscard]] std::vector<double> sample_msd(const MdRunConfig& run, double t_ps,
+                                             const WellArraySpec& spec = {});
+
+/// Maximum relative force-vs-energy finite-difference error over a probe
+/// set of (particle, axis) pairs of the bead chain. Deterministic, and the
+/// single sharpest detector of a force/energy inconsistency (e.g. a force
+/// path scaled without its energy): correct code sits at O(h²) ≈ 1e-6.
+[[nodiscard]] double force_energy_fd_error(const MdRunConfig& run);
+
+/// Relative total-energy drift |E_end − E_start| / |E_start| of an NVE
+/// (velocity Verlet) bead-chain run.
+[[nodiscard]] double nve_energy_drift(const MdRunConfig& run, std::size_t steps = 2000);
+
+}  // namespace spice::testkit

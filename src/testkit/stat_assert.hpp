@@ -1,0 +1,92 @@
+#pragma once
+// spice::testkit — tolerance-aware statistical comparators (DESIGN.md §9).
+//
+// The physics invariant suite never compares a stochastic observable with
+// EXPECT_NEAR and a magic tolerance; it states the analytic expectation
+// and asks one of these comparators whether the observed deviation is
+// statistically significant. Every check feeds the obs counters
+// testkit.checks.total / testkit.checks.failed (and the failed check's
+// detail line into testkit.last_failure via SPICE_WARN), so drift
+// observed by the test suite is visible on the same dashboards as
+// production telemetry.
+//
+// Thresholds are z-scores / χ² quantiles, not absolute tolerances: the
+// suite runs on FIXED seeds (deterministic, never flaky) but the margins
+// are sized so an O(1 %) physics regression — e.g. a mis-scaled force
+// kernel, which shifts every configurational observable by βΔU — lands
+// many σ outside the gate while the correct code sits well inside it.
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/statistics.hpp"
+
+namespace spice::testkit {
+
+/// Outcome of one statistical check; truthy when the observation is
+/// consistent with the stated expectation.
+struct CheckResult {
+  bool passed = false;
+  double statistic = 0.0;  ///< observed z or χ² value
+  double threshold = 0.0;  ///< bound the check enforced on `statistic`
+  std::string detail;      ///< human-readable one-liner (also logged on failure)
+
+  explicit operator bool() const { return passed; }
+};
+
+/// Standard normal CDF.
+[[nodiscard]] double standard_normal_cdf(double x);
+
+/// Standard normal quantile (Acklam's rational approximation, |err| < 1e-9).
+/// Requires p in (0, 1).
+[[nodiscard]] double standard_normal_quantile(double p);
+
+/// χ² critical value at `quantile` for `dof` degrees of freedom
+/// (Wilson–Hilferty cube approximation). Requires dof ≥ 1.
+[[nodiscard]] double chi_squared_critical(double dof, double quantile);
+
+/// z-test of the sample mean against an analytic expectation, with the
+/// standard error estimated from the sample itself. Appropriate when the
+/// samples are independent (e.g. one value per sweep seed).
+[[nodiscard]] CheckResult z_test_mean(std::span<const double> samples, double expected_mean,
+                                      double z_threshold = 4.0);
+
+/// z-test with a KNOWN per-sample σ (analytic), so the check also catches
+/// a wrong fluctuation magnitude, not just a shifted mean.
+[[nodiscard]] CheckResult z_test_mean_known_sigma(std::span<const double> samples,
+                                                  double expected_mean, double sigma_single,
+                                                  double z_threshold = 4.0);
+
+/// z-test for an autocorrelated series: the error bar comes from
+/// common/statistics block_average (block-mean scatter), which stays
+/// honest where the naive SE of correlated samples collapses.
+[[nodiscard]] CheckResult z_test_mean_blocked(std::span<const double> series,
+                                              double expected_mean,
+                                              std::size_t block_count = 16,
+                                              double z_threshold = 4.0);
+
+/// Analytic cumulative distribution function F(x).
+using Cdf = std::function<double(double)>;
+
+/// χ² goodness-of-fit of a filled Histogram against an analytic CDF.
+/// Expected bin masses come from CDF differences over the bin edges
+/// (under/overflow buckets are included as tail bins); adjacent bins with
+/// expected count < `min_expected` are merged so the χ² statistic stays
+/// well calibrated. Passes when χ² ≤ critical(dof, quantile).
+[[nodiscard]] CheckResult chi_squared_vs_cdf(const Histogram& histogram, const Cdf& cdf,
+                                             double quantile = 0.999,
+                                             double min_expected = 8.0);
+
+/// Boolean property check (round-trip fuzzing, structural invariants),
+/// routed through the same testkit.checks counters as the statistical
+/// comparators.
+[[nodiscard]] CheckResult check(bool passed, std::string detail);
+
+/// Deterministic comparator: |observed − expected| ≤ abs_tol + rel_tol·|expected|.
+/// Routed through the same counters so exact invariants (finite-difference
+/// force consistency, NVE drift) show up on the same drift dashboards.
+[[nodiscard]] CheckResult near(double observed, double expected, double abs_tol,
+                               double rel_tol = 0.0, std::string_view label = "near");
+
+}  // namespace spice::testkit

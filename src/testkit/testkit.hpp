@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for spice::testkit — the physics-validation and
+// property-testing toolkit (DESIGN.md §9). Link spice_testkit.
+
+#include "testkit/golden.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/property.hpp"
+#include "testkit/seed_sweep.hpp"
+#include "testkit/stat_assert.hpp"
+#include "testkit/systems.hpp"

@@ -1,0 +1,100 @@
+// spice_golden — regenerate / check the committed golden-trajectory
+// records (tests/golden/*.golden).
+//
+//   spice_golden --check [--dir D] [--report FILE] [system...]   (default)
+//   spice_golden --regen [--dir D] [system...]
+//
+// --check compares fresh runs against the records at the NormBounded rung
+// and prints a per-observable drift report (also written to --report for
+// the CI artifact); exit status 1 on drift. --regen rewrites the records —
+// commit the diff ONLY for an intentional physics change, with the drift
+// report in the PR description.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testkit/golden.hpp"
+
+#ifndef SPICE_GOLDEN_SOURCE_DIR
+#define SPICE_GOLDEN_SOURCE_DIR ""
+#endif
+
+namespace {
+
+using namespace spice::testkit;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spice_golden [--check|--regen] [--dir D] [--report FILE] "
+               "[system...]\nsystems: ");
+  for (const std::string& name : golden_system_names()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool regen = false;
+  std::string dir = default_golden_dir(SPICE_GOLDEN_SOURCE_DIR);
+  std::string report_path;
+  std::vector<std::string> systems;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--regen" || arg == "--regen-golden") {
+      regen = true;
+    } else if (arg == "--check") {
+      regen = false;
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else {
+      systems.push_back(arg);
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "spice_golden: no golden dir (set --dir or SPICE_GOLDEN_DIR)\n");
+    return 2;
+  }
+  if (systems.empty()) systems = golden_system_names();
+
+  std::string report;
+  bool any_drift = false;
+  for (const std::string& system : systems) {
+    const std::string path = golden_path(dir, system);
+    const GoldenRecord current = run_golden(system, {.threads = 1});
+    if (regen) {
+      write_golden(path, current);
+      std::printf("regenerated %s\n", path.c_str());
+      continue;
+    }
+    const GoldenRecord reference = load_golden(path);
+    const GoldenDrift drift = compare_golden(current, reference, GoldenLevel::NormBounded);
+    any_drift = any_drift || !drift.ok;
+    report += "== " + system + " ==\n" + drift.summary() + "\n";
+  }
+
+  if (!regen) {
+    std::fputs(report.c_str(), stdout);
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      out << report;
+      std::printf("drift report written to %s\n", report_path.c_str());
+    }
+    if (any_drift) {
+      std::printf("RESULT: DRIFT\n");
+      return 1;
+    }
+    std::printf("RESULT: OK\n");
+  }
+  return 0;
+}

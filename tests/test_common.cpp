@@ -222,6 +222,56 @@ TEST(Statistics, AutocorrelationDetectsCorrelation) {
   EXPECT_LT(tau, 20.0);
 }
 
+TEST(Statistics, BlockAverageMatchesDirectBlockMeans) {
+  // 16 samples in 4 blocks of 4: hand-computable.
+  std::vector<double> xs;
+  for (int i = 0; i < 16; ++i) xs.push_back(static_cast<double>(i));
+  const BlockAverageResult r = block_average(xs, 4);
+  EXPECT_EQ(r.block_count, 4u);
+  EXPECT_EQ(r.block_size, 4u);
+  EXPECT_DOUBLE_EQ(r.mean, 7.5);  // block means 1.5, 5.5, 9.5, 13.5
+  RunningStats direct;
+  for (const double m : {1.5, 5.5, 9.5, 13.5}) direct.add(m);
+  EXPECT_DOUBLE_EQ(r.std_error, direct.std_error());
+}
+
+TEST(Statistics, BlockAverageClampsShortSeries) {
+  // Regression: requesting more blocks than samples/2 used to produce
+  // blocks of size 0/1 — size-1 blocks make the block-mean scatter equal
+  // the raw scatter (defeating the purpose), size-0 blocks were UB. The
+  // count must clamp so every block holds ≥ 2 samples.
+  std::vector<double> xs;
+  Rng rng(41);
+  for (int i = 0; i < 10; ++i) xs.push_back(rng.gaussian());
+  const BlockAverageResult r = block_average(xs, 16);  // 10 < 2·16
+  EXPECT_EQ(r.block_count, 5u);
+  EXPECT_EQ(r.block_size, 2u);
+  EXPECT_GT(r.std_error, 0.0);
+
+  // Degenerate requests are rejected outright.
+  EXPECT_THROW((void)block_average(std::vector<double>{1.0, 2.0, 3.0}, 2),
+               PreconditionError);
+  EXPECT_THROW((void)block_average(xs, 1), PreconditionError);
+}
+
+TEST(Statistics, BlockAverageErrorHonestForCorrelatedSeries) {
+  // AR(1), φ = 0.9: true SE of the mean is √(τ₂/n)·σ with inflation
+  // (1+φ)/(1−φ) = 19 over the naive SE. Block averaging with long blocks
+  // must land near the true value where the naive estimate is ~4.4× low.
+  Rng rng(43);
+  std::vector<double> xs(32768);
+  double x = 0.0;
+  for (auto& out : xs) {
+    x = 0.9 * x + rng.gaussian();
+    out = x;
+  }
+  const BlockAverageResult blocked = block_average(xs, 32);
+  const double sigma2 = variance(xs);
+  const double true_se = std::sqrt(19.0 * sigma2 / static_cast<double>(xs.size()));
+  EXPECT_GT(blocked.std_error, 0.6 * true_se);
+  EXPECT_LT(blocked.std_error, 1.6 * true_se);
+}
+
 // --- serialization -----------------------------------------------------------
 
 TEST(Serialize, RoundTripAllTypes) {

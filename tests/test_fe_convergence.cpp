@@ -12,9 +12,10 @@
 #include "common/units.hpp"
 #include "fe/convergence.hpp"
 #include "fe/jarzynski.hpp"
-#include "md/engine.hpp"
 #include "smd/pulling.hpp"
-#include "smd/restraint.hpp"
+#include "testkit/seed_sweep.hpp"
+#include "testkit/stat_assert.hpp"
+#include "testkit/systems.hpp"
 
 namespace {
 
@@ -163,64 +164,70 @@ TEST(EndpointWork, MatchesGridEnsembleEndpoint) {
   EXPECT_NEAR(endpoint_work(pull, 10.0, WorkSource::Accumulated), e.work[0].back(), 1e-9);
 }
 
+TEST(EndpointWork, SampledForceIgnoresHoldPlateauSettleForce) {
+  // A pull with a hold phase: three samples at λ = 0 while the spring
+  // settles (large transient forces, zero anchor motion), then a ramp to
+  // λ = 4 at constant force 2. The SampledForce endpoint re-integrates
+  // ∫F dλ over the ANCHOR path, so the plateau contributes exactly zero no
+  // matter how violent the settling forces were: W(4) = 2·4 = 8.
+  spice::smd::PullResult pull;
+  const double forces[] = {50.0, -8.0, 2.0, 2.0, 2.0, 2.0, 2.0};
+  const double lambdas[] = {0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0};
+  double time_work = 0.0;  // the WRONG bookkeeping: W += F·v̄·dt with v̄ = λ_max/t_total
+  for (std::size_t i = 0; i < 7; ++i) {
+    spice::smd::PullSample s;
+    s.time = static_cast<double>(i);
+    s.lambda = lambdas[i];
+    s.force = forces[i];
+    if (i > 0) time_work += 0.5 * (forces[i - 1] + forces[i]) * (4.0 / 6.0);
+    s.work = time_work;
+    pull.samples.push_back(s);
+  }
+  pull.pulled_distance = 4.0;
+  pull.steps = 7;
+
+  EXPECT_NEAR(endpoint_work(pull, 4.0, WorkSource::SampledForce), 8.0, 1e-9);
+  // The polluted accumulated-work fields over-count (the plateau's settle
+  // forces leak in through v̄·dt) — proving the branch actually switched
+  // to re-integration rather than reading the work column.
+  EXPECT_GT(endpoint_work(pull, 4.0, WorkSource::Accumulated), 8.0 + 5.0);
+}
+
 // --- live MD: analytic harmonic-well reference -----------------------------
 
 TEST(ConvergenceLiveMd, HarmonicWellDeltaFMatchesAnalyticValue) {
-  // Same protocol as JarzynskiLiveMd.HarmonicWellPullMatchesAnalyticProfile:
-  // particle in a well k_w pulled by a spring κ_p has
-  // F(λ) = ½ k_eff λ², k_eff = k_w κ_p/(k_w + κ_p). The STREAMING tracker
-  // must land on the same endpoint value the batch estimator reproduces.
-  const double k_well = 2.0;
-  const double kappa_pn = 300.0;
-  const double kappa_internal = units::spring_pn_per_angstrom(kappa_pn);
-  const double k_eff = k_well * kappa_internal / (k_well + kappa_internal);
-  const double lambda_max = 3.0;
+  // The testkit harmonic-pull reference: particle in a well k_w pulled by
+  // a spring κ_p attached at the exact well centre, so
+  // ΔF = ½ k_eff λ² with k_eff = k_w κ_p/(k_w + κ_p) is exact. The
+  // STREAMING tracker must land on the same endpoint value the batch
+  // estimator reproduces. The pull ensemble is a testkit seed sweep (the
+  // same harness the physics-invariant suite uses; the 1700 base seed
+  // keeps this test's ensemble distinct from that suite's).
+  using namespace spice::testkit;
+  const HarmonicPullSpec spec{};
 
   ConvergenceConfig config;
   config.target_error_kcal = 1.5;
   config.min_samples = 6;
   ConvergenceTracker tracker(config);
 
-  std::vector<double> works;
-  for (std::uint64_t seed = 0; seed < 12; ++seed) {
-    spice::md::Topology topo;
-    topo.add_particle({.mass = 50.0, .charge = 0.0, .radius = 1.0});
-    spice::md::MdConfig cfg;
-    cfg.dt = 0.01;
-    cfg.friction = 2.0;
-    cfg.seed = 1700 + seed;
-    spice::md::Engine engine(std::move(topo), spice::md::NonbondedParams{}, cfg);
-    engine.set_positions(std::vector<Vec3>{{0, 0, 0}});
-    engine.initialize_velocities(300.0);
-
-    auto well = std::make_shared<spice::smd::StaticRestraint>(
-        std::vector<std::uint32_t>{0}, Vec3{0, 0, -1.0}, k_well, 0.0);
-    well->attach_reference({0, 0, 0});
-    engine.add_contribution(well);
-
-    spice::smd::SmdParams params;
-    params.spring_pn_per_angstrom = kappa_pn;
-    params.velocity_angstrom_per_ns = 250.0;
-    params.smd_atoms = {0};
-    params.hold_ps = 8.0;
-    auto pull = std::make_shared<spice::smd::ConstantVelocityPull>(params);
-    pull->attach(engine);
-    engine.add_contribution(pull);
-    const spice::smd::PullResult result =
-        spice::smd::run_pull(engine, *pull, lambda_max, 5);
-
-    const double w = endpoint_work(result, lambda_max, WorkSource::Accumulated);
-    works.push_back(w);
+  const SeedSweep sweep({.seeds = 12, .base_seed = 1700, .stream = 0xfe});
+  const std::vector<double> works = sweep.collect([&](std::uint64_t seed) {
+    HarmonicPull system = make_harmonic_pull({.seed = seed}, spec);
+    const double w = run_harmonic_pull_work(system);
     tracker.add_work(w);
-  }
+    return w;
+  });
 
   const ConvergenceState& state = tracker.state();
   EXPECT_EQ(state.samples, works.size());
   // Streaming ΔF == batch JE over the same endpoint works, exactly.
-  EXPECT_NEAR(state.delta_f, batch_je(works, 300.0), 1e-9);
-  // And both sit on the analytic value (kT-scale tolerance, as in the
-  // batch test: ξ starts at the thermal position, not the well centre).
-  EXPECT_NEAR(state.delta_f, 0.5 * k_eff * lambda_max * lambda_max, 0.9);
+  EXPECT_NEAR(state.delta_f, batch_je(works, spec.temperature), 1e-9);
+  // And both sit on the analytic value (kT-scale tolerance: 12 pulls of a
+  // dissipative ensemble carry that much JE estimator noise).
+  const CheckResult analytic = near(state.delta_f, harmonic_pull_delta_f(spec), 0.9, 0.0,
+                                    "streaming JE delta_f vs analytic");
+  EXPECT_TRUE(analytic.passed) << analytic.detail;
   // Diagnostics are sane for a real dissipative ensemble.
   EXPECT_GT(state.jackknife_error, 0.0);
   EXPECT_GT(state.ess, 1.0);

@@ -99,6 +99,45 @@ TEST(GridWorkEnsemble, SampledForceIgnoresHoldPlateau) {
   }
 }
 
+TEST(ReintegrateFromForce, RewritesWorkColumnOverTheAnchorPath) {
+  // Direct contract of the now-public primitive: the output work column is
+  // the λ-trapezoid of the recorded forces, the first sample is re-zeroed,
+  // and hold-plateau samples (dλ = 0) contribute nothing no matter what
+  // transient force they recorded.
+  spice::smd::PullResult pull;
+  const double lambdas[] = {0.0, 0.0, 1.0, 3.0};
+  const double forces[] = {7.0, -4.0, 2.0, 4.0};
+  for (int i = 0; i < 4; ++i) {
+    spice::smd::PullSample s;
+    s.time = i;
+    s.lambda = lambdas[i];
+    s.force = forces[i];
+    s.work = 999.0;  // stale garbage: must be fully rewritten
+    pull.samples.push_back(s);
+  }
+
+  const spice::smd::PullResult out = reintegrate_from_force(pull);
+  ASSERT_EQ(out.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.samples[0].work, 0.0);
+  EXPECT_DOUBLE_EQ(out.samples[1].work, 0.0);  // plateau: ½(7−4)·0
+  EXPECT_DOUBLE_EQ(out.samples[2].work, 0.5 * (-4.0 + 2.0) * 1.0);
+  EXPECT_DOUBLE_EQ(out.samples[3].work, out.samples[2].work + 0.5 * (2.0 + 4.0) * 2.0);
+  // Everything but the work column passes through untouched.
+  EXPECT_DOUBLE_EQ(out.samples[3].lambda, 3.0);
+  EXPECT_DOUBLE_EQ(out.samples[3].force, 4.0);
+}
+
+TEST(ReintegrateFromForce, EmptyAndSingleSampleAreNoOps) {
+  const spice::smd::PullResult empty_out = reintegrate_from_force({});
+  EXPECT_TRUE(empty_out.samples.empty());
+
+  spice::smd::PullResult one;
+  one.samples.push_back({.time = 0.0, .lambda = 0.0, .force = 5.0, .work = 3.0});
+  const spice::smd::PullResult out = reintegrate_from_force(one);
+  ASSERT_EQ(out.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.samples[0].work, 0.0);  // the λ = 0 origin is re-zeroed
+}
+
 // --- estimators on synthetic Gaussian work ----------------------------------------
 
 class GaussianWorkTest : public ::testing::TestWithParam<double> {};

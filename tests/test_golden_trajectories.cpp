@@ -1,0 +1,73 @@
+// Golden-trajectory regression: every registered canonical system is run
+// fresh and held against the record committed under tests/golden/ at the
+// NormBounded rung (so deliberate float-reassociation refactors survive,
+// but physics drift fails with a per-observable report), and against an
+// in-process rerun at the Bitwise rung (same-config determinism, including
+// thread-count invariance of the full checkpoint stream).
+//
+// Records are regenerated with the spice_golden tool:
+//   build/tests/spice_golden --regen --dir tests/golden
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "testkit/golden.hpp"
+
+#ifndef SPICE_GOLDEN_SOURCE_DIR
+#define SPICE_GOLDEN_SOURCE_DIR ""
+#endif
+
+namespace {
+
+using namespace spice::testkit;
+
+std::string golden_dir() { return default_golden_dir(SPICE_GOLDEN_SOURCE_DIR); }
+
+TEST(GoldenTrajectories, CommittedRecordsMatchWithinNormBounds) {
+  for (const std::string& system : golden_system_names()) {
+    SCOPED_TRACE(system);
+    const GoldenRecord reference = load_golden(golden_path(golden_dir(), system));
+    const GoldenRecord current = run_golden(system, {.threads = 1});
+    const GoldenDrift drift = compare_golden(current, reference, GoldenLevel::NormBounded);
+    EXPECT_TRUE(drift.ok) << drift.summary();
+  }
+}
+
+TEST(GoldenTrajectories, SameConfigRerunIsBitwise) {
+  for (const std::string& system : golden_system_names()) {
+    SCOPED_TRACE(system);
+    const GoldenRecord first = run_golden(system, {.threads = 1});
+    const GoldenRecord again = run_golden(system, {.threads = 1});
+    const GoldenDrift drift = compare_golden(again, first, GoldenLevel::Bitwise);
+    EXPECT_TRUE(drift.ok) << drift.summary();
+  }
+}
+
+TEST(GoldenTrajectories, ThreadCountDoesNotChangeTheBytes) {
+  // The determinism contract, expressed through the golden fingerprint:
+  // the checkpoint hash (positions + velocities + counters) is invariant
+  // under the worker thread count.
+  for (const std::string& system : golden_system_names()) {
+    SCOPED_TRACE(system);
+    const GoldenRecord serial = run_golden(system, {.threads = 1});
+    const GoldenRecord parallel = run_golden(system, {.threads = 8});
+    const GoldenDrift drift = compare_golden(parallel, serial, GoldenLevel::Bitwise);
+    EXPECT_TRUE(drift.ok) << drift.summary();
+  }
+}
+
+TEST(GoldenTrajectories, CommittedFilesRoundTripThroughTheParser) {
+  for (const std::string& system : golden_system_names()) {
+    SCOPED_TRACE(system);
+    const GoldenRecord reference = load_golden(golden_path(golden_dir(), system));
+    EXPECT_EQ(reference.system, system);
+    EXPECT_GT(reference.checkpoint_size, 0u);
+    EXPECT_GE(reference.observables.size(), 10u);
+    const GoldenRecord reparsed = parse_golden(format_golden(reference));
+    EXPECT_TRUE(compare_golden(reparsed, reference, GoldenLevel::Bitwise).ok);
+  }
+}
+
+}  // namespace

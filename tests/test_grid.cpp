@@ -190,6 +190,54 @@ TEST(Site, OutageKillsRunningAndQueuedJobs) {
   EXPECT_TRUE(f.site.in_outage() || f.events.now() >= 50.0);
 }
 
+TEST(Site, RecoveryBeforeOutageEndIsSuppressed) {
+  // fail_until schedules a recovery event at its own `until`, but a longer
+  // overlapping outage extends outage_until_ past it — so the earlier
+  // event fires while the site is still down and must be a no-op. The
+  // fault process in grid/faults relies on exactly this when independent
+  // exponential outages overlap.
+  SiteFixture f;
+  std::vector<double> recoveries;
+  f.site.set_recovery_handler([&] { recoveries.push_back(f.events.now()); });
+
+  f.events.at(1.0, [&] { f.site.fail_until(10.0); });
+  f.events.at(5.0, [&] { f.site.fail_until(20.0); });  // overlaps, ends later
+  // The first outage's recovery event at t = 10 fires before the extended
+  // end: the site must still report down and emit no recovery.
+  f.events.at(10.5, [&] {
+    EXPECT_TRUE(f.site.in_outage());
+    EXPECT_TRUE(recoveries.empty());
+  });
+  f.events.run();
+
+  ASSERT_EQ(recoveries.size(), 1u) << "exactly one recovery per merged outage window";
+  EXPECT_DOUBLE_EQ(recoveries[0], 20.0);
+
+  // Dispatching really did resume with the (single) recovery.
+  f.site.submit(make_job(1, 64, 2.0));
+  f.events.run();
+  ASSERT_EQ(f.done.size(), 1u);
+  EXPECT_EQ(f.done[0].state, JobState::Completed);
+}
+
+TEST(Site, ShorterOverlappingOutageDoesNotShortenTheWindow) {
+  // The mirror ordering: a second outage that ends EARLIER than the one
+  // already in force. fail_until keeps the max, and the shorter outage's
+  // recovery event (t = 10, before the 20 h end) is suppressed the same
+  // way.
+  SiteFixture f;
+  std::vector<double> recoveries;
+  f.site.set_recovery_handler([&] { recoveries.push_back(f.events.now()); });
+
+  f.events.at(1.0, [&] { f.site.fail_until(20.0); });
+  f.events.at(5.0, [&] { f.site.fail_until(10.0); });  // ends first, no effect
+  f.events.run();
+
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_DOUBLE_EQ(recoveries[0], 20.0);
+  EXPECT_FALSE(f.site.in_outage());
+}
+
 TEST(Site, RejectsOversizeJob) {
   SiteFixture f;
   f.site.submit(make_job(1, 4096, 1.0));

@@ -1,62 +1,35 @@
 // Determinism contract, enforced at the byte level: a fixed seed must give
 // bit-identical trajectories regardless of the worker thread count. The
-// checkpoint byte stream (positions + velocities + counters) is the
-// comparison vehicle — if any slice partition, reduction order or noise
-// stream leaked thread-dependence, the streams would diverge within a few
+// comparison vehicle is the testkit golden fingerprint (FNV-1a over the
+// checkpoint byte stream: positions + velocities + counters) at the
+// Bitwise rung of the tolerance ladder, swept over several seeds — if any
+// slice partition, reduction order or noise stream leaked
+// thread-dependence, some seed's streams would diverge within a few
 // hundred Langevin steps.
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <cstdint>
 #include <memory>
-#include <numbers>
 #include <vector>
 
 #include "md/engine.hpp"
-#include "md/topology.hpp"
 #include "obs/obs.hpp"
 #include "smd/restraint.hpp"
+#include "testkit/golden.hpp"
+#include "testkit/seed_sweep.hpp"
+#include "testkit/systems.hpp"
 
 namespace {
 
 using namespace spice;
 using namespace spice::md;
+using namespace spice::testkit;
 
-/// A charged bead chain long enough to occupy several cells and slices.
-Engine make_chain(std::size_t threads, ForcePath path, std::uint64_t seed = 77) {
-  constexpr int kBeads = 24;
-  Topology topo;
-  for (int i = 0; i < kBeads; ++i) {
-    topo.add_particle({.mass = 300.0, .charge = -1.0, .radius = 4.0, .name = "NT"});
-  }
-  for (ParticleIndex i = 0; i + 1 < kBeads; ++i) topo.add_bond({i, i + 1, 10.0, 7.0});
-  for (ParticleIndex i = 0; i + 2 < kBeads; ++i) {
-    topo.add_angle({i, i + 1, i + 2, 5.0, std::numbers::pi});
-  }
-  for (ParticleIndex i = 0; i + 3 < kBeads; ++i) {
-    topo.add_dihedral({i, i + 1, i + 2, i + 3, 0.5, 1, 0.0});
-  }
-  MdConfig cfg;
-  cfg.dt = 0.01;
-  cfg.threads = threads;
-  cfg.seed = seed;
-  cfg.force_path = path;
-  Engine engine(std::move(topo), NonbondedParams{}, cfg);
-  std::vector<Vec3> xs(kBeads);
-  for (int i = 0; i < kBeads; ++i) {
-    // Gentle helix so the chain is neither collinear nor self-overlapping.
-    const double phi = 0.4 * i;
-    xs[i] = {3.0 * std::cos(phi), 3.0 * std::sin(phi), 7.0 * i};
-  }
-  engine.set_positions(xs);
-  engine.initialize_velocities(300.0);
-  return engine;
-}
-
-std::vector<std::uint8_t> bytes_after_500(std::size_t threads, ForcePath path,
-                                          bool with_restraint) {
-  Engine engine = make_chain(threads, path);
+/// Checkpoint fingerprint of the 24-bead helix after 500 steps.
+std::uint64_t hash_after_500(std::uint64_t seed, std::size_t threads, ForcePath path,
+                             bool with_restraint) {
+  Engine engine = make_bead_chain({.seed = seed, .threads = threads, .force_path = path});
   std::shared_ptr<smd::StaticRestraint> restraint;
   if (with_restraint) {
     restraint = std::make_shared<smd::StaticRestraint>(
@@ -66,40 +39,62 @@ std::vector<std::uint8_t> bytes_after_500(std::size_t threads, ForcePath path,
     engine.add_contribution(restraint);
   }
   engine.step(500);
-  return engine.checkpoint().bytes;
+  return fnv1a64(engine.checkpoint().bytes);
+}
+
+/// The determinism seed sweep: a handful of seeds is plenty (any leak
+/// diverges within hundreds of steps); SPICE_SWEEP_SEEDS widens it.
+const SeedSweep& determinism_sweep() {
+  static const SeedSweep sweep({.seeds = 3, .base_seed = 77, .stream = 0xde7});
+  return sweep;
+}
+
+void expect_thread_count_invariant(ForcePath path, bool with_restraint) {
+  for (const std::uint64_t seed : determinism_sweep().seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::uint64_t one = hash_after_500(seed, 1, path, with_restraint);
+    for (const std::size_t threads : sweep_thread_counts({2, 8})) {
+      EXPECT_EQ(hash_after_500(seed, threads, path, with_restraint), one)
+          << "threads = " << threads;
+    }
+  }
 }
 
 TEST(Determinism, CheckpointBytesIdenticalAcrossThreadCounts) {
-  const auto one = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/false);
-  const auto two = bytes_after_500(2, ForcePath::Kernels, /*with_restraint=*/false);
-  const auto eight = bytes_after_500(8, ForcePath::Kernels, /*with_restraint=*/false);
-  EXPECT_EQ(one, two);
-  EXPECT_EQ(one, eight);
+  expect_thread_count_invariant(ForcePath::Kernels, /*with_restraint=*/false);
 }
 
 TEST(Determinism, CheckpointBytesIdenticalAcrossThreadCountsWithSmdRestraint) {
   // The COM spring's serial begin_evaluation + ranged force distribution
   // must not introduce thread-order dependence either.
-  const auto one = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/true);
-  const auto two = bytes_after_500(2, ForcePath::Kernels, /*with_restraint=*/true);
-  const auto eight = bytes_after_500(8, ForcePath::Kernels, /*with_restraint=*/true);
-  EXPECT_EQ(one, two);
-  EXPECT_EQ(one, eight);
+  expect_thread_count_invariant(ForcePath::Kernels, /*with_restraint=*/true);
 }
 
 TEST(Determinism, LegacyPathIsAlsoThreadCountInvariant) {
-  const auto one = bytes_after_500(1, ForcePath::LegacyPairList, /*with_restraint=*/true);
-  const auto eight = bytes_after_500(8, ForcePath::LegacyPairList, /*with_restraint=*/true);
-  EXPECT_EQ(one, eight);
+  expect_thread_count_invariant(ForcePath::LegacyPairList, /*with_restraint=*/true);
+}
+
+TEST(Determinism, GoldenSystemsAreThreadCountInvariant) {
+  // The same contract through the full golden observable set (energies,
+  // norms, SMD work — not just the checkpoint hash) for every registered
+  // canonical system, pore and pull included.
+  for (const std::string& system : golden_system_names()) {
+    SCOPED_TRACE(system);
+    const GoldenRecord serial = run_golden(system, {.threads = 1});
+    const GoldenRecord parallel = run_golden(system, {.threads = 8});
+    const GoldenDrift drift = compare_golden(parallel, serial, GoldenLevel::Bitwise);
+    EXPECT_TRUE(drift.ok) << drift.summary();
+  }
 }
 
 TEST(Determinism, TracingAndMetricsDoNotPerturbTrajectories) {
   // The obs instrumentation on the force-eval path (counters, phase spans,
   // per-kernel detail attribution) performs only clock reads and atomic
   // adds — it must never touch simulation state. Run the full stack of
-  // switches and require byte-identical checkpoints across thread counts
+  // switches and require byte-identical fingerprints across thread counts
   // AND against the uninstrumented baseline.
-  const auto baseline = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/true);
+  const std::uint64_t seed = determinism_sweep().seeds().front();
+  const auto baseline = hash_after_500(seed, 1, ForcePath::Kernels, /*with_restraint=*/true);
 
   obs::Tracer tracer("determinism");
   tracer.set_event_limit(100'000);
@@ -108,9 +103,9 @@ TEST(Determinism, TracingAndMetricsDoNotPerturbTrajectories) {
   obs::set_detail_enabled(true);
   obs::set_process_tracer(&tracer);
 
-  const auto one = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/true);
-  const auto two = bytes_after_500(2, ForcePath::Kernels, /*with_restraint=*/true);
-  const auto eight = bytes_after_500(8, ForcePath::Kernels, /*with_restraint=*/true);
+  const auto one = hash_after_500(seed, 1, ForcePath::Kernels, /*with_restraint=*/true);
+  const auto two = hash_after_500(seed, 2, ForcePath::Kernels, /*with_restraint=*/true);
+  const auto eight = hash_after_500(seed, 8, ForcePath::Kernels, /*with_restraint=*/true);
 
   obs::set_process_tracer(nullptr);
   obs::set_detail_enabled(false);
@@ -125,10 +120,10 @@ TEST(Determinism, TracingAndMetricsDoNotPerturbTrajectories) {
 
 TEST(Determinism, RestraintChangesTheTrajectory) {
   // Guard against the restraint silently not being applied (which would
-  // make the with-restraint determinism test vacuous).
-  const auto free_run = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/false);
-  const auto restrained = bytes_after_500(1, ForcePath::Kernels, /*with_restraint=*/true);
-  EXPECT_NE(free_run, restrained);
+  // make the with-restraint determinism tests vacuous).
+  const std::uint64_t seed = determinism_sweep().seeds().front();
+  EXPECT_NE(hash_after_500(seed, 1, ForcePath::Kernels, /*with_restraint=*/false),
+            hash_after_500(seed, 1, ForcePath::Kernels, /*with_restraint=*/true));
 }
 
 }  // namespace
