@@ -83,6 +83,80 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  SPICE_REQUIRE(q > 0.0 && q < 1.0, "P2 quantile must be in (0,1)");
+  increment_[0] = 0.0;
+  increment_[1] = q_ / 2.0;
+  increment_[2] = q_;
+  increment_[3] = (1.0 + q_) / 2.0;
+  increment_[4] = 1.0;
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  // Cell containing x (markers 0..4 bracket the sample so far).
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  ++n_;
+  // Adjust interior markers toward their desired positions, preferring the
+  // piecewise-parabolic (P²) height update, falling back to linear when the
+  // parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!right && !left) continue;
+    const double s = right ? 1.0 : -1.0;
+    const double qp = heights_[i + 1];
+    const double qm = heights_[i - 1];
+    const double np = positions_[i + 1];
+    const double nm = positions_[i - 1];
+    const double n0 = positions_[i];
+    const double parabolic =
+        heights_[i] + s / (np - nm) *
+                          ((n0 - nm + s) * (qp - heights_[i]) / (np - n0) +
+                           (np - n0 - s) * (heights_[i] - qm) / (n0 - nm));
+    if (qm < parabolic && parabolic < qp) {
+      heights_[i] = parabolic;
+    } else {
+      const std::size_t j = right ? i + 1 : i - 1;
+      heights_[i] +=
+          s * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+    }
+    positions_[i] += s;
+  }
+}
+
+double P2Quantile::value() const {
+  SPICE_REQUIRE(n_ > 0, "P2 quantile of empty sample");
+  if (n_ < 5) {
+    // Exact small-sample percentile over the buffered observations.
+    std::vector<double> xs(heights_, heights_ + n_);
+    return percentile(std::move(xs), q_ * 100.0);
+  }
+  return heights_[2];
+}
+
 double log_sum_exp(std::span<const double> xs) {
   SPICE_REQUIRE(!xs.empty(), "log_sum_exp of empty sample");
   const double m = *std::max_element(xs.begin(), xs.end());

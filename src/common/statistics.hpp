@@ -44,6 +44,32 @@ class RunningStats {
 /// sample. Requires a non-empty input.
 [[nodiscard]] double percentile(std::vector<double> xs, double p);
 
+/// Streaming quantile estimation by the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers track the target quantile and its neighbours
+/// in O(1) memory, adjusted with piecewise-parabolic interpolation. Exact
+/// for the first five observations; afterwards an estimate whose error
+/// shrinks with sample count. Used by the grid's streaming campaign
+/// metrics so a million-job run never stores per-job wait records.
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Current estimate; exact while fewer than five samples were seen.
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};     ///< marker heights (sorted)
+  double positions_[5] = {1, 2, 3, 4, 5};   ///< actual marker positions
+  double desired_[5] = {1, 2, 3, 4, 5};     ///< desired marker positions
+  double increment_[5] = {0, 0, 0, 0, 0};   ///< desired-position increments
+};
+
 /// log(Σ exp(xᵢ)) computed without overflow. Requires non-empty input.
 [[nodiscard]] double log_sum_exp(std::span<const double> xs);
 

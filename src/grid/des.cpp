@@ -1,34 +1,258 @@
 #include "grid/des.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
 namespace spice::grid {
 
-void EventQueue::at(double t, Handler handler) {
+namespace {
+
+constexpr std::size_t kMinBuckets = 64;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 21;
+
+EventToken pack_token(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+}
+
+bool unpack_token(EventToken token, std::uint32_t& slot, std::uint32_t& gen) {
+  if (token == kInvalidToken) return false;
+  slot = static_cast<std::uint32_t>((token >> 32) - 1);
+  gen = static_cast<std::uint32_t>(token & 0xffffffffu);
+  return true;
+}
+
+}  // namespace
+
+EventQueue::EventQueue(Backend backend) : backend_(backend) {
+  if (backend_ == Backend::Calendar) buckets_.assign(kMinBuckets, {});
+}
+
+std::uint32_t EventQueue::alloc_slot(Handler handler) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  slab_[slot].handler = std::move(handler);
+  return slot;
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  slab_[slot].handler = nullptr;  // destroy captured state now
+  ++slab_[slot].gen;
+  free_slots_.push_back(slot);
+  SPICE_ENSURE(live_ > 0, "event accounting underflow");
+  --live_;
+}
+
+EventToken EventQueue::at(double t, Handler handler) {
   SPICE_REQUIRE(t >= now_, "cannot schedule an event in the past");
   SPICE_REQUIRE(handler != nullptr, "null event handler");
-  events_.push(Event{t, next_seq_++, std::move(handler)});
+  const std::uint32_t slot = alloc_slot(std::move(handler));
+  const Entry e{t, next_seq_++, slot, slab_[slot].gen};
+  ++live_;
+  insert(e);
+  return pack_token(slot, e.gen);
+}
+
+bool EventQueue::cancel(EventToken token) {
+  std::uint32_t slot;
+  std::uint32_t gen;
+  if (!unpack_token(token, slot, gen)) return false;
+  if (slot >= slab_.size() || slab_[slot].gen != gen) return false;
+  // The stale bucket/heap entry keeps (time, seq, slot, old gen) and is
+  // skipped for free when its position is reached; the handler dies here.
+  free_slot(slot);
+  return true;
+}
+
+bool EventQueue::pending(EventToken token) const {
+  std::uint32_t slot;
+  std::uint32_t gen;
+  if (!unpack_token(token, slot, gen)) return false;
+  return slot < slab_.size() && slab_[slot].gen == gen &&
+         slab_[slot].handler != nullptr;
+}
+
+void EventQueue::insert(const Entry& e) {
+  if (backend_ == Backend::BinaryHeap) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(),
+                   [](const Entry& a, const Entry& b) { return earlier(b, a); });
+    return;
+  }
+  // Occupancy far from the bucket count ⇒ re-bucket around the live set.
+  const std::size_t nb = buckets_.size();
+  if ((live_ > nb * 4 && nb < kMaxBuckets) ||
+      (live_ * 8 < nb && nb > kMinBuckets)) {
+    rebuild(now_);
+  }
+  insert_calendar(e);
+}
+
+void EventQueue::insert_calendar(const Entry& e) {
+  const double offset = (e.time - epoch_) / width_;
+  if (offset >= static_cast<double>(buckets_.size())) {
+    overflow_.push_back(e);
+    return;
+  }
+  std::size_t idx = offset > 0.0 ? static_cast<std::size_t>(offset) : 0;
+  // Exhausted buckets stay behind the cursor; anything mapping there
+  // (e.time ≥ now_ always holds) belongs in the current bucket.
+  if (idx <= cur_bucket_) {
+    auto& bucket = buckets_[cur_bucket_];
+    // Current bucket is kept sorted past the consumed prefix; same-time
+    // FIFO appends land at the back, so the schedule-at-now case stays
+    // O(1). Never insert before the cursor — a skipped (cancelled) entry
+    // there may carry a later timestamp.
+    const auto pos = std::lower_bound(
+        bucket.begin() + static_cast<std::ptrdiff_t>(bucket_pos_), bucket.end(), e,
+        earlier);
+    bucket.insert(pos, e);
+    return;
+  }
+  buckets_[idx].push_back(e);  // sorted when the cursor arrives
+}
+
+void EventQueue::collect_live(std::vector<Entry>& out) {
+  for (auto& bucket : buckets_) {
+    for (const Entry& e : bucket) {
+      if (entry_live(e)) out.push_back(e);
+    }
+    bucket.clear();
+  }
+  for (const Entry& e : overflow_) {
+    if (entry_live(e)) out.push_back(e);
+  }
+  overflow_.clear();
+}
+
+double EventQueue::pick_width(const std::vector<Entry>& live) const {
+  if (live.size() < 2) return 1.0;
+  // Sample event times evenly, then set the bucket width to twice the
+  // median inter-event gap, so a bucket holds a couple of events on
+  // average. All-equal timestamps fall back to a unit width (everything
+  // lands in one bucket, whose sorted order makes FIFO exact anyway).
+  std::vector<double> times;
+  const std::size_t samples = std::min<std::size_t>(live.size(), 64);
+  const std::size_t stride = live.size() / samples;
+  times.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) times.push_back(live[i * stride].time);
+  std::sort(times.begin(), times.end());
+  std::vector<double> gaps;
+  gaps.reserve(times.size());
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double gap = times[i] - times[i - 1];
+    if (gap > 0.0) gaps.push_back(gap);
+  }
+  if (gaps.empty()) return 1.0;
+  std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+  const double width = 2.0 * gaps[gaps.size() / 2];
+  return std::isfinite(width) && width > 1e-12 ? width : 1e-12;
+}
+
+void EventQueue::rebuild(double from_time) {
+  std::vector<Entry> live;
+  live.reserve(live_);
+  collect_live(live);
+  std::size_t nb = kMinBuckets;
+  while (nb < live.size() && nb < kMaxBuckets) nb <<= 1;
+  buckets_.assign(nb, {});
+  cur_bucket_ = 0;
+  bucket_pos_ = 0;
+  epoch_ = from_time;
+  width_ = pick_width(live);
+  for (const Entry& e : live) {
+    const double offset = (e.time - epoch_) / width_;
+    if (offset >= static_cast<double>(nb)) {
+      overflow_.push_back(e);
+    } else {
+      buckets_[offset > 0.0 ? static_cast<std::size_t>(offset) : 0].push_back(e);
+    }
+  }
+  // The cursor starts inside bucket 0, which must already be sorted (later
+  // buckets sort when the cursor arrives).
+  std::sort(buckets_[0].begin(), buckets_[0].end(), earlier);
+}
+
+bool EventQueue::advance_heap() {
+  const auto later = [](const Entry& a, const Entry& b) { return earlier(b, a); };
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+  return !heap_.empty();
+}
+
+bool EventQueue::advance() {
+  if (backend_ == Backend::BinaryHeap) return advance_heap();
+  for (;;) {
+    auto& bucket = buckets_[cur_bucket_];
+    while (bucket_pos_ < bucket.size()) {
+      if (entry_live(bucket[bucket_pos_])) return true;
+      ++bucket_pos_;  // cancelled entry: skip for free
+    }
+    bucket.clear();
+    bucket_pos_ = 0;
+    ++cur_bucket_;
+    if (cur_bucket_ < buckets_.size()) {
+      std::sort(buckets_[cur_bucket_].begin(), buckets_[cur_bucket_].end(), earlier);
+      continue;
+    }
+    // Epoch exhausted: everything pending (if anything) sits in overflow.
+    if (live_ == 0) {
+      overflow_.clear();
+      cur_bucket_ = 0;
+      epoch_ = now_;
+      return false;
+    }
+    double next = overflow_.front().time;
+    for (const Entry& e : overflow_) next = std::min(next, e.time);
+    rebuild(std::max(next, now_));
+  }
 }
 
 bool EventQueue::step() {
-  if (events_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-free
-  // alternative: copy the handler. Handlers are cheap closures; copy.
-  Event e = events_.top();
-  events_.pop();
+  if (!advance()) return false;
+  Entry e;
+  if (backend_ == Backend::BinaryHeap) {
+    const auto later = [](const Entry& a, const Entry& b) { return earlier(b, a); };
+    e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  } else {
+    e = buckets_[cur_bucket_][bucket_pos_];
+    ++bucket_pos_;
+  }
   now_ = e.time;
   ++processed_;
   {
     static obs::Counter& dispatched = obs::metrics().counter("grid.des.events");
     dispatched.add(1);
   }
-  e.handler();
+  // Move the handler out of the slab and release the slot before running,
+  // so the dispatch itself never copies the closure and the handler may
+  // freely schedule (or cancel) other events.
+  Handler handler = std::move(slab_[e.slot].handler);
+  free_slot(e.slot);
+  handler();
   return true;
 }
 
 void EventQueue::run_until(double t_end) {
-  while (!events_.empty() && events_.top().time <= t_end) step();
+  while (advance()) {
+    const double next = backend_ == Backend::BinaryHeap
+                            ? heap_.front().time
+                            : buckets_[cur_bucket_][bucket_pos_].time;
+    if (next > t_end) break;
+    step();
+  }
   if (now_ < t_end) now_ = t_end;
 }
 

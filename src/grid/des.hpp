@@ -4,10 +4,18 @@
 // Time unit: hours (the natural scale of batch queues and reservations).
 // Events at equal times fire in scheduling order (a monotone sequence
 // number breaks ties), which keeps every grid simulation deterministic.
+//
+// The default backend is an indexed two-level calendar/bucket queue
+// (Brown-style): handlers live in a slab of stable slots, bucket entries
+// carry (time, seq, slot, generation), and the token returned by
+// at()/after() cancels a pending event in O(1) — the handler is destroyed
+// immediately instead of firing as a no-op. Inserts and pops are O(1)
+// amortized at any live-event count, which is what lets million-job
+// campaigns run at O(active) cost. A plain binary-heap backend is kept for
+// differential testing and as the "before" arm of bench/grid_scale.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace spice::obs {
@@ -16,9 +24,22 @@ class Tracer;
 
 namespace spice::grid {
 
+/// Handle to a scheduled event: (slot, generation) packed into 64 bits.
+/// kInvalidToken never names a live event, so it is safe to cancel blindly.
+using EventToken = std::uint64_t;
+inline constexpr EventToken kInvalidToken = 0;
+
 class EventQueue {
  public:
   using Handler = std::function<void()>;
+
+  /// Calendar is the production backend; BinaryHeap exists for
+  /// differential tests and baseline benchmarking.
+  enum class Backend { Calendar, BinaryHeap };
+
+  explicit EventQueue(Backend backend = Backend::Calendar);
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Attach a tracer recording the VIRTUAL timeline: sites and the broker
   /// emit spans with ts = now() × obs::kTraceUsPerHour, so one simulated
@@ -27,14 +48,27 @@ class EventQueue {
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
   /// Schedule `handler` at absolute time `t` (hours). Must not be in the
-  /// past relative to now().
-  void at(double t, Handler handler);
+  /// past relative to now(). The returned token may be ignored, or kept to
+  /// cancel the event before it fires.
+  EventToken at(double t, Handler handler);
 
   /// Schedule after a delay from now().
-  void after(double delay, Handler handler) { at(now_ + delay, std::move(handler)); }
+  EventToken after(double delay, Handler handler) {
+    return at(now_ + delay, std::move(handler));
+  }
+
+  /// Remove a pending event: its handler is destroyed now and will never
+  /// run. Returns false (harmlessly) when the token is invalid, already
+  /// fired, or already cancelled.
+  bool cancel(EventToken token);
+
+  /// True while the token's event is scheduled and not yet fired/cancelled.
+  [[nodiscard]] bool pending(EventToken token) const;
 
   [[nodiscard]] double now() const { return now_; }
-  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
   /// Pop and run the next event; returns false when the queue is empty.
@@ -48,23 +82,66 @@ class EventQueue {
   void run();
 
  private:
-  struct Event {
+  /// Queue entry: the (time, seq) priority plus the slab slot holding the
+  /// handler. `gen` detects cancellation — a stale entry whose generation
+  /// no longer matches its slot is skipped for free during pops.
+  struct Entry {
     double time;
     std::uint64_t seq;
-    Handler handler;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    Handler handler;
+    std::uint32_t gen = 1;  ///< bumped on fire/cancel; entry match ⇒ live
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slab_[e.slot].gen == e.gen;
+  }
+
+  std::uint32_t alloc_slot(Handler handler);
+  void free_slot(std::uint32_t slot);
+  void insert(const Entry& e);
+  void insert_calendar(const Entry& e);
+  /// Position cursors on the next live entry; false when the queue is
+  /// empty. Mutates lazily (skips dead entries, sorts arrived buckets,
+  /// rebuilds exhausted epochs) but never changes fire order.
+  bool advance();
+  bool advance_heap();
+  /// Rebuild buckets around the pending entries (new epoch start, bucket
+  /// count and width chosen from the live distribution).
+  void rebuild(double from_time);
+  void collect_live(std::vector<Entry>& out);
+  [[nodiscard]] double pick_width(const std::vector<Entry>& live) const;
+
+  Backend backend_;
   obs::Tracer* tracer_ = nullptr;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
+
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
+
+  // Calendar backend: one epoch of buckets [epoch_, epoch_ + N·width_),
+  // entries beyond it wait unsorted in overflow_ until an epoch rebuild
+  // reaches them. The current bucket is kept sorted (same-time FIFO
+  // appends are O(1) at its back); later buckets sort on arrival.
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> overflow_;
+  std::size_t cur_bucket_ = 0;
+  std::size_t bucket_pos_ = 0;
+  double epoch_ = 0.0;
+  double width_ = 1.0;
+
+  // BinaryHeap backend.
+  std::vector<Entry> heap_;
 };
 
 }  // namespace spice::grid

@@ -26,15 +26,32 @@ std::size_t FaultInjector::arm() {
   // Random failure/repair process per site, seeded by (seed, site index):
   // the schedule is a pure function of the config, independent of campaign
   // content, dispatch order, or how many events the DES has processed.
+  // Eager mode materializes it all; lazy mode keeps one self-rescheduling
+  // event per site, drawing from the SAME per-site stream in the SAME
+  // order, so both modes inject a bit-identical schedule.
+  std::size_t lazy_armed = 0;
   if (config_.site_mtbf_hours > 0.0) {
     const auto& sites = federation_.sites();
-    for (std::size_t i = 0; i < sites.size(); ++i) {
-      Rng rng = Rng::stream(config_.seed, 0x6661756c74ULL /*"fault"*/, i);
-      double t = rng.exponential(config_.site_mtbf_hours);
-      while (t < config_.horizon_hours) {
-        const double duration = rng.exponential(config_.mean_outage_hours);
-        outages_.push_back({sites[i]->name(), t, duration});
-        t += duration + rng.exponential(config_.site_mtbf_hours);
+    if (config_.lazy_arming) {
+      EventQueue& events = federation_.events();
+      site_rngs_.reserve(sites.size());
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        site_rngs_.push_back(Rng::stream(config_.seed, 0x6661756c74ULL /*"fault"*/, i));
+        const double t = site_rngs_.back().exponential(config_.site_mtbf_hours);
+        if (t < config_.horizon_hours) {
+          events.at(t, [this, i] { fire_random(i); });
+          ++lazy_armed;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        Rng rng = Rng::stream(config_.seed, 0x6661756c74ULL /*"fault"*/, i);
+        double t = rng.exponential(config_.site_mtbf_hours);
+        while (t < config_.horizon_hours) {
+          const double duration = rng.exponential(config_.mean_outage_hours);
+          outages_.push_back({sites[i]->name(), t, duration});
+          t += duration + rng.exponential(config_.site_mtbf_hours);
+        }
       }
     }
   }
@@ -50,7 +67,23 @@ std::size_t FaultInjector::arm() {
       site->fail_until(until);
     });
   }
-  return outages_.size();
+  return outages_.size() + lazy_armed;
+}
+
+void FaultInjector::fire_random(std::size_t site_index) {
+  EventQueue& events = federation_.events();
+  Rng& rng = site_rngs_[site_index];
+  const double duration = rng.exponential(config_.mean_outage_hours);
+  // A longer outage may already hold the site; fail_until keeps the
+  // later end (same semantics as the eager path).
+  federation_.sites()[site_index]->fail_until(events.now() + duration);
+  // Parenthesized exactly like the eager path's `t += duration + gap`, so
+  // both modes produce bit-identical outage times.
+  const double next =
+      events.now() + (duration + rng.exponential(config_.site_mtbf_hours));
+  if (next < config_.horizon_hours) {
+    events.at(next, [this, site_index] { fire_random(site_index); });
+  }
 }
 
 void FaultInjector::attach_network(spice::net::Network& network) const {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "grid/federation.hpp"
 
 namespace spice::net {
@@ -45,6 +46,14 @@ struct FaultConfig {
   double site_mtbf_hours = 0.0;
   double mean_outage_hours = 4.0;   ///< exponential outage duration
   double horizon_hours = 500.0;     ///< random failures drawn in [0, horizon)
+  /// Draw the random failure process lazily: instead of materializing
+  /// every outage up front (O(sites × horizon/MTBF) armed events), each
+  /// site carries ONE self-rescheduling event that draws the next
+  /// failure when the previous one fires. The per-site draw order is
+  /// identical to eager arming, so the outage schedule is bit-identical;
+  /// outages() stays empty in this mode, and the injector must outlive
+  /// the event queue's run.
+  bool lazy_arming = false;
   std::vector<NetworkDegradation> degradation;
 
   [[nodiscard]] bool enabled() const {
@@ -67,13 +76,18 @@ class FaultInjector {
   /// (grid hours → network seconds).
   void attach_network(spice::net::Network& network) const;
 
-  /// The materialized outage schedule (valid after arm()).
+  /// The materialized outage schedule (valid after arm(); random outages
+  /// are absent under lazy_arming — they exist only as future events).
   [[nodiscard]] const std::vector<ScheduledOutage>& outages() const { return outages_; }
 
  private:
+  /// Lazy mode: inject site i's next random outage and reschedule.
+  void fire_random(std::size_t site_index);
+
   Federation& federation_;
   FaultConfig config_;
   std::vector<ScheduledOutage> outages_;
+  std::vector<Rng> site_rngs_;  ///< lazy-mode per-site draw streams
   bool armed_ = false;
 };
 

@@ -14,22 +14,23 @@ namespace {
 double sim_us(double hours) { return hours * obs::kTraceUsPerHour; }
 }  // namespace
 
-std::uint32_t Broker::trace_track() {
-  obs::Tracer* tracer = federation_.events().tracer();
-  if (tracer == nullptr) return 0;
-  if (trace_track_ == 0) trace_track_ = tracer->new_track("broker");
-  return trace_track_;
-}
-
 Site& Federation::add_site(const SiteSpec& spec) {
   SPICE_REQUIRE(find(spec.name) == nullptr, "duplicate site name: " + spec.name);
-  sites_.push_back(std::make_unique<Site>(spec, events_));
+  sites_.push_back(std::make_unique<Site>(spec, events_, table_));
   Site& site = *sites_.back();
-  site.set_completion_handler([this](const Job& job) {
-    for (const auto& listener : listeners_) listener(job);
+  site.set_trace_sampling(trace_sample_);
+  site.set_row_completion_handler([this](JobRow row) {
+    // Materialize the compatibility view only when someone wants it, and
+    // before row listeners run — a broker may move the row out of its
+    // terminal state (requeue), which must not leak into the Job records.
+    if (!listeners_.empty()) {
+      const Job job = table_.materialize(row);
+      for (const auto& listener : listeners_) listener(job);
+    }
+    for (const auto& [id, listener] : row_listeners_) listener(row);
   });
   site.set_recovery_handler([this, &site] {
-    for (const auto& listener : recovery_listeners_) listener(site);
+    for (const auto& [id, listener] : recovery_listeners_) listener(site);
   });
   return site;
 }
@@ -55,6 +56,32 @@ int Federation::total_processors() const {
   return total;
 }
 
+Federation::ListenerId Federation::add_row_listener(RowListener listener) {
+  const ListenerId id = next_listener_id_++;
+  row_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Federation::remove_row_listener(ListenerId id) {
+  std::erase_if(row_listeners_, [id](const auto& entry) { return entry.first == id; });
+}
+
+Federation::ListenerId Federation::add_recovery_listener(RecoveryListener listener) {
+  const ListenerId id = next_listener_id_++;
+  recovery_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Federation::remove_recovery_listener(ListenerId id) {
+  std::erase_if(recovery_listeners_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+void Federation::set_trace_job_sampling(std::uint32_t n) {
+  trace_sample_ = n == 0 ? 1 : n;
+  for (const auto& s : sites_) s->set_trace_sampling(trace_sample_);
+}
+
 double RetryPolicy::delay_hours(JobId job, int attempt) const {
   SPICE_REQUIRE(attempt >= 1, "retry attempts count from 1");
   double delay = base_backoff_hours;
@@ -69,46 +96,72 @@ double RetryPolicy::delay_hours(JobId job, int attempt) const {
   return delay * (1.0 - jitter_fraction + 2.0 * jitter_fraction * unit);
 }
 
+std::uint32_t Broker::trace_track() {
+  obs::Tracer* tracer = federation_.events().tracer();
+  if (tracer == nullptr) return 0;
+  if (trace_track_ == 0) trace_track_ = tracer->new_track("broker");
+  return trace_track_;
+}
+
+bool Broker::traced(JobRow row) const {
+  if (federation_.events().tracer() == nullptr) return false;
+  const std::uint32_t sample = federation_.trace_job_sampling();
+  return sample <= 1 || federation_.jobs().id(row) % sample == 0;
+}
+
 Broker::Broker(Federation& federation, CampaignConfig config)
     : federation_(federation), config_(std::move(config)) {
-  SPICE_REQUIRE(!config_.jobs.empty(), "campaign has no jobs");
+  SPICE_REQUIRE(!config_.jobs.empty() ||
+                    (config_.job_factory != nullptr && config_.job_count > 0),
+                "campaign has no jobs");
   SPICE_REQUIRE(config_.completion_floor >= 0.0 && config_.completion_floor <= 1.0,
                 "completion floor must be a fraction");
-  federation_.add_listener([this](const Job& job) { on_job_done(job); });
-  federation_.add_recovery_listener([this](Site&) { release_held(); });
+  row_listener_ = federation_.add_row_listener([this](JobRow row) { on_row_done(row); });
+  recovery_listener_ =
+      federation_.add_recovery_listener([this](Site&) { release_held(); });
+}
+
+Broker::~Broker() {
+  federation_.remove_row_listener(row_listener_);
+  federation_.remove_recovery_listener(recovery_listener_);
 }
 
 void Broker::submit_all() {
   SPICE_REQUIRE(!submitted_, "campaign already submitted");
   submitted_ = true;
   result_.submit_time = federation_.events().now();
-  result_.requested = config_.jobs.size();
+  const std::size_t n = config_.jobs.empty() ? config_.job_count : config_.jobs.size();
+  result_.requested = n;
   result_.completion_floor = config_.completion_floor;
-  outstanding_ = config_.jobs.size();
-  for (auto& job : config_.jobs) {
+  outstanding_ = n;
+  JobTable& table = federation_.jobs();
+  for (std::size_t i = 0; i < n; ++i) {
+    Job job = config_.jobs.empty() ? config_.job_factory(i) : config_.jobs[i];
     job.kind = JobKind::Campaign;
     if (job.checkpoint_interval_hours <= 0.0) {
       job.checkpoint_interval_hours = config_.checkpoint_interval_hours;
     }
-    dispatch(job, "");
+    dispatch(table.insert(job), kNoSite);
   }
 }
 
-Site* Broker::choose_site(const Job& job, const std::string& exclude) {
-  std::vector<Site*> usable;
+Site* Broker::choose_site(JobRow row, SiteId exclude) {
+  JobTable& table = federation_.jobs();
+  const int procs = table.processors(row);
+  usable_.clear();
   for (const auto& s : federation_.sites()) {
-    if (s->name() == exclude) continue;
+    if (s->site_id() == exclude) continue;
     if (s->in_outage()) continue;
     if (!s->spec().grid_enabled) continue;
-    if (job.processors > s->spec().processors) continue;
+    if (procs > s->spec().processors) continue;
     if (!config_.restrict_grid.empty() && s->spec().grid != config_.restrict_grid) continue;
     if (config_.policy == BrokerPolicy::SingleSite && s->name() != config_.single_site) continue;
-    usable.push_back(s.get());
+    usable_.push_back(s.get());
   }
-  if (usable.empty()) return nullptr;
+  if (usable_.empty()) return nullptr;
   switch (config_.policy) {
     case BrokerPolicy::SingleSite:
-      return usable.front();
+      return usable_.front();
     case BrokerPolicy::RoundRobin: {
       // Rotate over the FULL federation site list, skipping unusable
       // entries, so an outage or per-retry exclusion does not shift the
@@ -116,21 +169,22 @@ Site* Broker::choose_site(const Job& job, const std::string& exclude) {
       const auto& all = federation_.sites();
       for (std::size_t k = 0; k < all.size(); ++k) {
         Site* candidate = all[(round_robin_next_ + k) % all.size()].get();
-        if (std::find(usable.begin(), usable.end(), candidate) == usable.end()) continue;
+        if (std::find(usable_.begin(), usable_.end(), candidate) == usable_.end()) continue;
         round_robin_next_ = (round_robin_next_ + k + 1) % all.size();
         return candidate;
       }
-      return usable.front();  // unreachable: usable ⊆ all
+      return usable_.front();  // unreachable: usable ⊆ all
     }
     case BrokerPolicy::LeastBacklog: {
       Site* best = nullptr;
       double best_load = std::numeric_limits<double>::infinity();
-      for (Site* s : usable) {
+      const double runtime = table.runtime_hours(row);
+      for (Site* s : usable_) {
         // Queued work per processor, scaled by speed so faster machines
         // look cheaper for the same backlog.
-        const double load = (s->backlog_hours() + job.runtime_hours * job.processors /
-                                                      s->spec().processors) /
-                            s->spec().speed;
+        const double load =
+            (s->backlog_hours() + runtime * procs / s->spec().processors) /
+            s->spec().speed;
         if (load < best_load) {
           best_load = load;
           best = s;
@@ -139,13 +193,14 @@ Site* Broker::choose_site(const Job& job, const std::string& exclude) {
       return best;
     }
   }
-  return usable.front();
+  return usable_.front();
 }
 
-bool Broker::feasible_somewhere(const Job& job) const {
+bool Broker::feasible_somewhere(JobRow row) const {
+  const int procs = federation_.jobs().processors(row);
   for (const auto& s : federation_.sites()) {
     if (!s->spec().grid_enabled) continue;
-    if (job.processors > s->spec().processors) continue;
+    if (procs > s->spec().processors) continue;
     if (!config_.restrict_grid.empty() && s->spec().grid != config_.restrict_grid) continue;
     if (config_.policy == BrokerPolicy::SingleSite && s->name() != config_.single_site)
       continue;
@@ -154,144 +209,171 @@ bool Broker::feasible_somewhere(const Job& job) const {
   return false;
 }
 
-void Broker::dispatch(Job job, const std::string& exclude) {
+void Broker::dispatch(JobRow row, SiteId exclude) {
   {
     static obs::Counter& dispatches = obs::metrics().counter("grid.broker.dispatches");
     dispatches.add(1);
   }
-  Site* site = choose_site(job, exclude);
+  Site* site = choose_site(row, exclude);
   if (site == nullptr) {
     // No site can take it RIGHT NOW. If some site could ever run it, park
     // it in the held queue instead of losing it (every site momentarily in
     // outage is the situation SPICE's production runs had to survive).
-    if (feasible_somewhere(job)) {
-      hold(std::move(job));
+    if (feasible_somewhere(row)) {
+      hold(row);
     } else {
-      fail_permanently(std::move(job));
+      fail_permanently(row, /*release_row=*/true);
     }
     return;
   }
-  if (job.completed_fraction > 0.0) result_.checkpoint_restarts += 1;
-  if (obs::Tracer* tracer = federation_.events().tracer()) {
-    tracer->instant(job.name, "grid.broker.dispatch",
-                    sim_us(federation_.events().now()), trace_track(),
-                    "-> " + site->name());
+  if (federation_.jobs().completed_fraction(row) > 0.0) result_.checkpoint_restarts += 1;
+  if (traced(row)) {
+    federation_.events().tracer()->instant(
+        federation_.jobs().display_name(row), "grid.broker.dispatch",
+        sim_us(federation_.events().now()), trace_track(), "-> " + site->name());
   }
-  site->submit(std::move(job));
+  site->submit_row(row);
 }
 
-void Broker::hold(Job job) {
-  job.holds += 1;
-  if (job.holds > config_.retry.max_holds) {
-    fail_permanently(std::move(job));
+void Broker::hold(JobRow row) {
+  JobTable& table = federation_.jobs();
+  table.holds(row) += 1;
+  if (table.holds(row) > config_.retry.max_holds) {
+    fail_permanently(row, /*release_row=*/true);
     return;
   }
   result_.held_dispatches += 1;
-  job.state = JobState::Pending;
-  job.site.clear();
-  const JobId id = job.id;
-  const double delay = config_.retry.delay_hours(id, job.requeues + job.holds);
+  table.set_state(row, RowState::Held);
+  table.site(row) = kNoSite;
+  const double delay =
+      config_.retry.delay_hours(table.id(row), table.requeues(row) + table.holds(row));
   {
     static obs::Counter& holds = obs::metrics().counter("grid.broker.holds");
     holds.add(1);
   }
-  // Async span over the park: begin here, end where the job leaves held_
-  // (backoff timer or site recovery). Paired by (category, id); the hold
-  // count disambiguates repeated parks of the same job.
-  if (obs::Tracer* tracer = federation_.events().tracer()) {
-    tracer->async_begin(job.name + " (held)", "grid.broker.held",
-                        (id << 8) | static_cast<std::uint64_t>(job.holds & 0xff),
-                        sim_us(federation_.events().now()), trace_track());
+  // Async span over the park: begin here, end where the job leaves the
+  // held list (backoff timer or site recovery). Paired by (category, id);
+  // the hold count disambiguates repeated parks of the same job.
+  if (traced(row)) {
+    federation_.events().tracer()->async_begin(
+        table.display_name(row) + " (held)", "grid.broker.held",
+        (table.id(row) << 8) | static_cast<std::uint64_t>(table.holds(row) & 0xff),
+        sim_us(federation_.events().now()), trace_track());
   }
-  held_.push_back(std::move(job));
-  federation_.events().after(delay, [this, id] { retry_held(id); });
+  // The timer owns the row's token while Held; release_held cancels it so
+  // a recovery-released job never gets a second dispatch from a stale
+  // timer.
+  table.event_token(row) =
+      federation_.events().after(delay, [this, row] { retry_held(row); });
 }
 
-void Broker::retry_held(JobId id) {
-  const auto it = std::find_if(held_.begin(), held_.end(),
-                               [id](const Job& j) { return j.id == id; });
-  if (it == held_.end()) return;  // already released by a site recovery
-  Job job = std::move(*it);
-  held_.erase(it);
-  end_held_span(job);
-  dispatch(std::move(job), "");
+void Broker::retry_held(JobRow row) {
+  JobTable& table = federation_.jobs();
+  if (table.state(row) != RowState::Held) return;  // armour; tokens are cancelled
+  table.event_token(row) = kInvalidToken;
+  end_held_span(row);
+  table.set_state(row, RowState::Pending);
+  dispatch(row, kNoSite);
 }
 
 void Broker::release_held() {
-  std::vector<Job> parked;
-  parked.swap(held_);
-  for (auto& job : parked) {
-    end_held_span(job);
-    dispatch(std::move(job), "");
+  JobTable& table = federation_.jobs();
+  held_batch_.clear();
+  for (JobRow row = table.head(RowState::Held); row != kNoRow; row = table.next(row)) {
+    held_batch_.push_back(row);
+  }
+  // Dispatch outside the list walk: a re-hold relinks the row at the tail.
+  for (const JobRow row : held_batch_) {
+    federation_.events().cancel(table.event_token(row));
+    table.event_token(row) = kInvalidToken;
+    end_held_span(row);
+    table.set_state(row, RowState::Pending);
+    dispatch(row, kNoSite);
   }
 }
 
-void Broker::end_held_span(const Job& job) {
-  if (obs::Tracer* tracer = federation_.events().tracer()) {
-    tracer->async_end(job.name + " (held)", "grid.broker.held",
-                      (job.id << 8) | static_cast<std::uint64_t>(job.holds & 0xff),
-                      sim_us(federation_.events().now()), trace_track());
+void Broker::end_held_span(JobRow row) {
+  if (traced(row)) {
+    JobTable& table = federation_.jobs();
+    federation_.events().tracer()->async_end(
+        table.display_name(row) + " (held)", "grid.broker.held",
+        (table.id(row) << 8) | static_cast<std::uint64_t>(table.holds(row) & 0xff),
+        sim_us(federation_.events().now()), trace_track());
   }
 }
 
-void Broker::fail_permanently(Job job) {
-  job.state = JobState::Failed;
-  job.end_time = federation_.events().now();
+void Broker::fail_permanently(JobRow row, bool release_row) {
+  JobTable& table = federation_.jobs();
+  table.set_state(row, RowState::Failed);
+  table.end_time(row) = federation_.events().now();
   {
     static obs::Counter& failures = obs::metrics().counter("grid.broker.permanent_failures");
     failures.add(1);
   }
-  if (obs::Tracer* tracer = federation_.events().tracer()) {
-    tracer->instant(job.name, "grid.broker.gave_up", sim_us(job.end_time), trace_track());
+  if (traced(row)) {
+    federation_.events().tracer()->instant(table.display_name(row), "grid.broker.gave_up",
+                                           sim_us(table.end_time(row)), trace_track());
   }
   result_.failed += 1;
   // Everything a permanently failed job burned is wasted: its checkpoints
   // are never resumed.
-  result_.wasted_cpu_hours += job.consumed_cpu_hours;
+  result_.wasted_cpu_hours += table.consumed_cpu_hours(row);
+  stream_.on_failed(table.consumed_cpu_hours(row));
   result_.makespan_hours =
-      std::max(result_.makespan_hours, job.end_time - result_.submit_time);
-  result_.finished_jobs.push_back(std::move(job));
+      std::max(result_.makespan_hours, table.end_time(row) - result_.submit_time);
+  if (config_.keep_finished_jobs) result_.finished_jobs.push_back(table.materialize(row));
   SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
   --outstanding_;
+  if (release_row) table.release(row);
 }
 
-void Broker::on_job_done(const Job& job) {
-  if (job.kind != JobKind::Campaign) return;
-  if (job.state == JobState::Completed) {
+void Broker::on_row_done(JobRow row) {
+  JobTable& table = federation_.jobs();
+  if (table.kind(row) != JobKind::Campaign) return;
+  if (table.state(row) == RowState::Completed) {
     SPICE_ENSURE(outstanding_ > 0, "job accounting underflow");
     --outstanding_;
     result_.completed += 1;
-    result_.total_cpu_hours += job.consumed_cpu_hours;
-    result_.credited_cpu_hours += job.consumed_cpu_hours - job.wasted_cpu_hours;
-    result_.wasted_cpu_hours += job.wasted_cpu_hours;
-    result_.jobs_per_site[job.site] += 1;
-    result_.finished_jobs.push_back(job);
-    const double wait = job.wait_hours();
+    result_.total_cpu_hours += table.consumed_cpu_hours(row);
+    result_.credited_cpu_hours +=
+        table.consumed_cpu_hours(row) - table.wasted_cpu_hours(row);
+    result_.wasted_cpu_hours += table.wasted_cpu_hours(row);
+    if (config_.keep_finished_jobs) result_.finished_jobs.push_back(table.materialize(row));
+    const double wait = table.start_time(row) - table.submit_time(row);
     result_.mean_wait_hours += wait;  // finalized in result()
     result_.max_wait_hours = std::max(result_.max_wait_hours, wait);
     result_.makespan_hours =
-        std::max(result_.makespan_hours, job.end_time - result_.submit_time);
-    return;
+        std::max(result_.makespan_hours, table.end_time(row) - result_.submit_time);
+    stream_.on_completed(table.processors(row), table.submit_time(row),
+                         table.start_time(row), table.end_time(row),
+                         table.consumed_cpu_hours(row), table.wasted_cpu_hours(row),
+                         table.requeues(row), table.site(row));
+    return;  // row stays Completed; the site releases it after the fan-out
   }
   // Failed mid-run (outage): requeue with exponential backoff if budget
-  // remains. Checkpoint credit travels inside the job, so the re-run only
+  // remains. Checkpoint credit lives in the row, so the re-run only
   // covers the lost tail.
-  Job retry = job;
-  if (retry.requeues >= config_.max_requeues) {
-    fail_permanently(std::move(retry));
+  if (table.requeues(row) >= config_.max_requeues) {
+    // Inside the site's completion fan-out: leave the terminal row for the
+    // site to release.
+    fail_permanently(row, /*release_row=*/false);
     return;
   }
   {
     static obs::Counter& requeues = obs::metrics().counter("grid.broker.requeues");
     requeues.add(1);
   }
-  retry.requeues += 1;
-  retry.state = JobState::Pending;
-  const std::string failed_site = retry.site;
-  const double delay = config_.retry.delay_hours(retry.id, retry.requeues);
-  federation_.events().after(delay, [this, retry, failed_site]() mutable {
-    dispatch(std::move(retry), failed_site);
-  });
+  table.requeues(row) += 1;
+  const SiteId failed_site = table.site(row);
+  // Claiming the row (Failed → Backoff) keeps it alive past the fan-out.
+  table.set_state(row, RowState::Backoff);
+  const double delay = config_.retry.delay_hours(table.id(row), table.requeues(row));
+  table.event_token(row) =
+      federation_.events().after(delay, [this, row, failed_site] {
+        federation_.jobs().set_state(row, RowState::Pending);
+        federation_.jobs().event_token(row) = kInvalidToken;
+        dispatch(row, failed_site);
+      });
 }
 
 CampaignResult Broker::result() const {
@@ -300,6 +382,10 @@ CampaignResult Broker::result() const {
   if (result_.completed > 0) {
     finalized.mean_wait_hours = result_.mean_wait_hours / static_cast<double>(result_.completed);
   }
+  finalized.wait_stats = stream_.wait_statistics();
+  finalized.site_shares = stream_.site_shares(federation_.jobs());
+  finalized.jobs_per_site = stream_.jobs_per_site(federation_.jobs());
+  finalized.cpu = stream_.cpu_accounting();
   return finalized;
 }
 
@@ -325,6 +411,22 @@ void build_spice_federation(Federation& federation) {
   federation.add_site({.name = "HPCx", .grid = "NGS", .processors = 1600,
                        .speed = 1.2, .hidden_ip = true, .lightpath = false,
                        .grid_enabled = false});
+}
+
+void build_synthetic_federation(Federation& federation, std::size_t n_sites,
+                                std::uint64_t seed) {
+  SPICE_REQUIRE(n_sites > 0, "synthetic federation needs sites");
+  static const char* kGrids[] = {"TeraGrid", "NGS", "DEISA", "OSG"};
+  static const int kSizes[] = {128, 256, 512, 1024};
+  Rng rng = Rng::stream(seed, 0x73697465ULL /*"site"*/, n_sites);
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    SiteSpec spec;
+    spec.name = "site" + std::to_string(i);
+    spec.grid = kGrids[i % 4];
+    spec.processors = kSizes[rng.uniform_index(4)];
+    spec.speed = rng.uniform(0.8, 1.2);
+    federation.add_site(spec);
+  }
 }
 
 }  // namespace spice::grid

@@ -2,11 +2,18 @@
 // Federation of grids and the campaign broker.
 //
 // A Federation owns Sites (each belonging to a named grid — "TeraGrid",
-// "NGS") plus the shared event queue, and fans job-completion callbacks
+// "NGS"), the shared flyweight JobTable, and fans job-completion callbacks
 // out to listeners. The Broker dispatches a campaign of jobs across the
 // federation (the paper's 72-simulation production set), re-queueing jobs
 // that fail (e.g. in a site outage) onto other sites — exactly the
 // redundancy argument of §V-C.4.
+//
+// Scale model: campaign state lives in JobTable rows; held jobs are the
+// table's Held list (no broker-side vector), backoff timers are
+// cancellable DES events (a site recovery releases a held job AND removes
+// its timer), and campaign metrics stream into O(1) accumulators at each
+// completion, so a million-job campaign never retains per-job records
+// unless CampaignConfig::keep_finished_jobs asks for them.
 
 #include <functional>
 #include <map>
@@ -15,6 +22,8 @@
 #include <vector>
 
 #include "grid/des.hpp"
+#include "grid/job_table.hpp"
+#include "grid/metrics.hpp"
 #include "grid/site.hpp"
 
 namespace spice::grid {
@@ -22,7 +31,9 @@ namespace spice::grid {
 class Federation {
  public:
   using Listener = std::function<void(const Job&)>;
+  using RowListener = std::function<void(JobRow)>;
   using RecoveryListener = std::function<void(Site&)>;
+  using ListenerId = std::size_t;
 
   explicit Federation(EventQueue& events) : events_(events) {}
 
@@ -32,23 +43,40 @@ class Federation {
   [[nodiscard]] const std::vector<std::unique_ptr<Site>>& sites() const { return sites_; }
   [[nodiscard]] std::vector<Site*> sites_in_grid(const std::string& grid);
   [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] JobTable& jobs() { return table_; }
+  [[nodiscard]] const JobTable& jobs() const { return table_; }
   [[nodiscard]] int total_processors() const;
 
   /// Register a completion listener (receives every finished job from
-  /// every site, campaign and background alike).
+  /// every site, campaign and background alike). The Job view is only
+  /// materialized when at least one such listener is registered.
   void add_listener(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+  /// Flyweight completion listener: receives the row (state still
+  /// terminal) of every finished job. Remove before the listener's
+  /// captures dangle — e.g. a Broker deregisters on destruction.
+  ListenerId add_row_listener(RowListener listener);
+  void remove_row_listener(ListenerId id);
 
   /// Register an outage-recovery listener (fires when any site's outage
   /// lifts — the broker uses this to re-dispatch held jobs).
-  void add_recovery_listener(RecoveryListener listener) {
-    recovery_listeners_.push_back(std::move(listener));
-  }
+  ListenerId add_recovery_listener(RecoveryListener listener);
+  void remove_recovery_listener(ListenerId id);
+
+  /// Forward per-job trace sampling (1 = every job) to all sites, current
+  /// and future; the broker samples its dispatch instants the same way.
+  void set_trace_job_sampling(std::uint32_t n);
+  [[nodiscard]] std::uint32_t trace_job_sampling() const { return trace_sample_; }
 
  private:
   EventQueue& events_;
+  JobTable table_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<Listener> listeners_;
-  std::vector<RecoveryListener> recovery_listeners_;
+  std::vector<std::pair<ListenerId, RowListener>> row_listeners_;
+  std::vector<std::pair<ListenerId, RecoveryListener>> recovery_listeners_;
+  ListenerId next_listener_id_ = 0;
+  std::uint32_t trace_sample_ = 1;
 };
 
 enum class BrokerPolicy {
@@ -74,6 +102,11 @@ struct RetryPolicy {
 
 struct CampaignConfig {
   std::vector<Job> jobs;
+  /// Alternative to `jobs` for very large campaigns: when `jobs` is empty,
+  /// the broker asks `job_factory(i)` for each of `job_count` jobs at
+  /// submit time, so a million-job campaign never exists as a vector.
+  std::function<Job(std::size_t)> job_factory;
+  std::size_t job_count = 0;
   BrokerPolicy policy = BrokerPolicy::LeastBacklog;
   std::string single_site;    ///< used by BrokerPolicy::SingleSite
   std::string restrict_grid;  ///< non-empty: only sites of this grid
@@ -86,6 +119,10 @@ struct CampaignConfig {
   /// Graceful degradation: the campaign is acceptable when at least this
   /// fraction of the requested replicas completed (1.0 = all required).
   double completion_floor = 1.0;
+  /// Retain a materialized Job record per finished job (CampaignResult::
+  /// finished_jobs). Default on for API compatibility; scale campaigns
+  /// turn it off and read the streaming accumulators instead.
+  bool keep_finished_jobs = true;
 };
 
 struct CampaignResult {
@@ -104,7 +141,15 @@ struct CampaignResult {
   double mean_wait_hours = 0.0;
   double max_wait_hours = 0.0;
   std::map<std::string, int> jobs_per_site;
+  /// Per-job records; empty when CampaignConfig::keep_finished_jobs is off.
   std::vector<Job> finished_jobs;
+
+  // Streaming-accumulator snapshots: available regardless of
+  // keep_finished_jobs, identical (up to the documented p95 estimator
+  // tolerance) to the batch functions over finished_jobs.
+  WaitStatistics wait_stats;
+  std::vector<SiteShare> site_shares;
+  CpuAccounting cpu;
 
   double completion_floor = 1.0;  ///< copied from the campaign config
 
@@ -119,10 +164,15 @@ struct CampaignResult {
 };
 
 /// Dispatches one campaign over a federation. Submit, then run the event
-/// queue; `done()` flips when every job completed or gave up.
+/// queue; `done()` flips when every job completed or gave up. Safe to
+/// destroy (it deregisters its listeners) and follow with another Broker
+/// on the same federation — rows recycle between campaigns.
 class Broker {
  public:
   Broker(Federation& federation, CampaignConfig config);
+  ~Broker();
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
 
   /// Submit all campaign jobs at the current simulation time.
   void submit_all();
@@ -137,32 +187,43 @@ class Broker {
   [[nodiscard]] std::size_t completed() const { return result_.completed; }
   [[nodiscard]] std::size_t failed() const { return result_.failed; }
   [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
-  [[nodiscard]] std::size_t held_count() const { return held_.size(); }
+  [[nodiscard]] std::size_t held_count() const {
+    return federation_.jobs().count(RowState::Held);
+  }
 
  private:
-  [[nodiscard]] Site* choose_site(const Job& job, const std::string& exclude);
+  [[nodiscard]] Site* choose_site(JobRow row, SiteId exclude);
   /// Could any site EVER run this job (ignoring outages/exclusions)?
-  [[nodiscard]] bool feasible_somewhere(const Job& job) const;
-  void dispatch(Job job, const std::string& exclude);
+  [[nodiscard]] bool feasible_somewhere(JobRow row) const;
+  void dispatch(JobRow row, SiteId exclude);
   /// Park a job that currently has no usable site; it is re-dispatched on
-  /// the next site recovery or its own backoff timer, whichever first.
-  void hold(Job job);
-  void retry_held(JobId id);   ///< backoff-timer path out of the held queue
-  void release_held();         ///< recovery path: re-dispatch everything held
-  void end_held_span(const Job& job);  ///< close the trace span of a park
-  void fail_permanently(Job job);
-  void on_job_done(const Job& job);
+  /// the next site recovery or its own backoff timer, whichever first
+  /// (the loser is cancelled, not fired-and-ignored).
+  void hold(JobRow row);
+  void retry_held(JobRow row);  ///< backoff-timer path out of the held list
+  void release_held();          ///< recovery path: re-dispatch everything held
+  void end_held_span(JobRow row);  ///< close the trace span of a park
+  /// `release_row` distinguishes loose rows (dispatch paths — release
+  /// here) from rows inside a site's completion fan-out (the site
+  /// releases once every handler has run).
+  void fail_permanently(JobRow row, bool release_row);
+  void on_row_done(JobRow row);
+  [[nodiscard]] bool traced(JobRow row) const;
   /// Broker decisions track on the queue's virtual-clock tracer (0 = none).
   [[nodiscard]] std::uint32_t trace_track();
 
   Federation& federation_;
   CampaignConfig config_;
   CampaignResult result_;
-  std::vector<Job> held_;
+  StreamingCampaignMetrics stream_;
+  std::vector<Site*> usable_;       ///< choose_site scratch (no per-dispatch alloc)
+  std::vector<JobRow> held_batch_;  ///< release_held scratch
   std::size_t outstanding_ = 0;
   std::size_t round_robin_next_ = 0;
   bool submitted_ = false;
   std::uint32_t trace_track_ = 0;
+  Federation::ListenerId row_listener_ = 0;
+  Federation::ListenerId recovery_listener_ = 0;
 };
 
 /// The federated US–UK grid of the paper's Fig. 5: TeraGrid nodes (NCSA,
@@ -170,5 +231,11 @@ class Broker {
 /// sizes. HPCx is included with hidden-IP and no lightpath so scenario
 /// code can demonstrate why it was unusable (§V-C.2).
 void build_spice_federation(Federation& federation);
+
+/// A deterministic n-site federation for scale studies (bench/grid_scale):
+/// site sizes, speeds and grid membership drawn from Rng::stream(seed, …),
+/// independent of call order.
+void build_synthetic_federation(Federation& federation, std::size_t n_sites,
+                                std::uint64_t seed);
 
 }  // namespace spice::grid

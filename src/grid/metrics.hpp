@@ -1,13 +1,22 @@
 #pragma once
-// Campaign/site analytics: queue-wait distributions, per-site utilization
-// and a wall-clock timeline, computed from finished-job records. Used by
-// the batch-campaign bench and by operators of the simulated federation.
+// Campaign/site analytics in two forms:
+//   * batch — computed from finished-job record vectors (the original
+//     API, used by the batch-campaign bench and small scenarios);
+//   * streaming — O(1)-memory accumulators updated at each completion
+//     event, so a million-job campaign never retains per-job records.
+// The streaming accumulators reproduce the batch numbers exactly for
+// means/sums/max (same values added in the same order); quantiles are
+// exact up to a configurable sample count, then switch to the P²
+// estimator (common/statistics.hpp) with a small documented tolerance.
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/statistics.hpp"
 #include "grid/job.hpp"
+#include "grid/job_table.hpp"
 
 namespace spice::grid {
 
@@ -62,5 +71,64 @@ struct CpuAccounting {
 };
 
 [[nodiscard]] CpuAccounting cpu_accounting(const std::vector<Job>& jobs);
+
+/// Streaming distribution summary: exact mean/max always (Welford), and
+/// exact median/p95 while at most `exact_limit` samples were seen — the
+/// raw values are buffered and fed through the same percentile() as the
+/// batch path. Past the limit the buffer spills into P² marker estimators
+/// and memory stays O(1).
+class StreamingTailStats {
+ public:
+  explicit StreamingTailStats(std::size_t exact_limit = 1024);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return moments_.count(); }
+  [[nodiscard]] double mean() const { return moments_.count() > 0 ? moments_.mean() : 0.0; }
+  [[nodiscard]] double max() const { return moments_.count() > 0 ? moments_.max() : 0.0; }
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double p95() const;
+  /// True while median()/p95() are exact percentiles of the sample.
+  [[nodiscard]] bool exact() const { return !spilled_; }
+
+ private:
+  std::size_t exact_limit_;
+  bool spilled_ = false;
+  RunningStats moments_;
+  std::vector<double> exact_;
+  P2Quantile p50_{0.50};
+  P2Quantile p95_{0.95};
+};
+
+/// Campaign metrics accumulated at completion/failure events — the
+/// streaming equivalent of wait_statistics + site_shares + cpu_accounting
+/// over the finished-job records, without keeping any.
+class StreamingCampaignMetrics {
+ public:
+  explicit StreamingCampaignMetrics(std::size_t exact_limit = 1024);
+
+  void on_completed(int processors, double submit_time, double start_time,
+                    double end_time, double consumed_cpu_hours,
+                    double wasted_cpu_hours, int requeues, SiteId site);
+  void on_failed(double consumed_cpu_hours);
+
+  [[nodiscard]] WaitStatistics wait_statistics() const;
+  /// Per-site shares sorted by site name (matching the batch output);
+  /// the table supplies the interned names.
+  [[nodiscard]] std::vector<SiteShare> site_shares(const JobTable& table) const;
+  [[nodiscard]] std::map<std::string, int> jobs_per_site(const JobTable& table) const;
+  [[nodiscard]] CpuAccounting cpu_accounting() const { return cpu_; }
+
+ private:
+  struct SiteAccum {
+    std::size_t jobs = 0;
+    double cpu_hours = 0.0;
+    double wait_sum = 0.0;
+  };
+
+  StreamingTailStats waits_;
+  std::vector<SiteAccum> sites_;  ///< indexed by SiteId
+  CpuAccounting cpu_;
+};
 
 }  // namespace spice::grid

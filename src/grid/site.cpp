@@ -20,8 +20,28 @@ std::uint32_t Site::trace_track() {
   return trace_track_;
 }
 
+bool Site::traced(JobRow row) const {
+  if (events_.tracer() == nullptr) return false;
+  return trace_sample_ <= 1 || table_->id(row) % trace_sample_ == 0;
+}
+
 Site::Site(SiteSpec spec, EventQueue& events)
-    : spec_(std::move(spec)), events_(events), free_procs_(spec_.processors) {
+    : spec_(std::move(spec)),
+      events_(events),
+      owned_table_(std::make_unique<JobTable>()),
+      table_(owned_table_.get()),
+      id_(table_->register_site(spec_.name)),
+      free_procs_(spec_.processors) {
+  SPICE_REQUIRE(spec_.processors > 0, "site needs processors");
+  SPICE_REQUIRE(spec_.speed > 0.0, "site speed must be positive");
+}
+
+Site::Site(SiteSpec spec, EventQueue& events, JobTable& table)
+    : spec_(std::move(spec)),
+      events_(events),
+      table_(&table),
+      id_(table_->register_site(spec_.name)),
+      free_procs_(spec_.processors) {
   SPICE_REQUIRE(spec_.processors > 0, "site needs processors");
   SPICE_REQUIRE(spec_.speed > 0.0, "site speed must be positive");
 }
@@ -55,14 +75,12 @@ bool Site::fits_now(int procs, double duration) const {
   return procs + reserved <= free_procs_;
 }
 
-double Site::shadow_time(const Job& head) const {
-  const double duration = head.remaining_hours() / spec_.speed;
+double Site::shadow_time(JobRow head) const {
+  const double duration = table_->remaining_hours(head) / spec_.speed;
   // Candidate start times: now, then each running-job end and reservation
   // end, in order. At each candidate check feasibility.
   std::vector<double> candidates{events_.now()};
-  for (const auto& r : running_) {
-    if (r.alive) candidates.push_back(r.end_time);
-  }
+  for (const auto& r : running_) candidates.push_back(r.end_time);
   for (const auto& res : reservations_) candidates.push_back(res.end);
   std::sort(candidates.begin(), candidates.end());
 
@@ -70,44 +88,47 @@ double Site::shadow_time(const Job& head) const {
     if (t < events_.now()) continue;
     int free_at_t = free_procs_;
     for (const auto& r : running_) {
-      if (r.alive && r.end_time <= t) free_at_t += r.job.processors;
+      if (r.end_time <= t) free_at_t += table_->processors(r.row);
     }
     const int reserved = max_reserved_overlap(t, t + duration);
-    if (head.processors + reserved <= free_at_t) return t;
+    if (table_->processors(head) + reserved <= free_at_t) return t;
   }
   // No feasible candidate (should not happen for jobs that fit the
   // machine); fall back to the last running end.
   return candidates.empty() ? events_.now() : candidates.back();
 }
 
+double Site::queued_work_of(JobRow row) const {
+  return table_->processors(row) * table_->remaining_hours(row) / spec_.speed;
+}
+
 double Site::backlog_hours() const {
-  double queued_work = 0.0;
-  for (const auto& j : queue_) {
-    queued_work += j.processors * j.remaining_hours() / spec_.speed;
-  }
-  for (const auto& r : running_) {
-    if (r.alive) {
-      queued_work += r.job.processors * std::max(0.0, r.end_time - events_.now());
-    }
-  }
-  return queued_work / spec_.processors;
+  // Running jobs always satisfy end_time ≥ now (their finish event has not
+  // fired), so the per-job max(0, end − now) of the naive sum is implied.
+  const double running_work = running_end_work_ - events_.now() * running_procs_;
+  return (queued_work_ + std::max(0.0, running_work)) / spec_.processors;
 }
 
 void Site::submit(Job job) {
-  SPICE_REQUIRE(job.processors > 0, "job needs processors");
-  SPICE_REQUIRE(job.runtime_hours > 0.0, "job needs a positive runtime");
-  if (job.processors > spec_.processors) {
-    fail_job(std::move(job), "job larger than machine");
+  submit_row(table_->insert(job));
+}
+
+void Site::submit_row(JobRow row) {
+  if (table_->processors(row) > spec_.processors) {
+    fail_row(row, "job larger than machine");
+    complete_row(row);
     return;
   }
   if (in_outage()) {
-    fail_job(std::move(job), "site in outage");
+    fail_row(row, "site in outage");
+    complete_row(row);
     return;
   }
-  job.state = JobState::Queued;
-  job.submit_time = events_.now();
-  job.site = spec_.name;
-  queue_.push_back(std::move(job));
+  table_->set_state(row, RowState::Queued);
+  table_->submit_time(row) = events_.now();
+  table_->site(row) = id_;
+  queue_.push_back(row);
+  queued_work_ += queued_work_of(row);
   dispatch();
 }
 
@@ -123,47 +144,59 @@ void Site::add_reservation(const Reservation& r) {
   events_.at(std::max(r.end, events_.now()), [this] { dispatch(); });
 }
 
-void Site::start_job(Job job) {
-  const double duration = job.remaining_hours() / spec_.speed;
-  job.state = JobState::Running;
-  job.start_time = events_.now();
+void Site::start_row(JobRow row) {
+  const double duration = table_->remaining_hours(row) / spec_.speed;
+  table_->set_state(row, RowState::Running);
+  table_->start_time(row) = events_.now();
   // The queued wait is fully known here; emit it retroactively so the
   // Gantt chart shows wait and run back to back on the site's row.
-  if (obs::Tracer* tracer = events_.tracer()) {
-    tracer->complete(job.name + " (queued)", "grid.job.queued", sim_us(job.submit_time),
-                     sim_us(job.start_time - job.submit_time), trace_track());
+  if (traced(row)) {
+    const double submit = table_->submit_time(row);
+    events_.tracer()->complete(table_->display_name(row) + " (queued)", "grid.job.queued",
+                               sim_us(submit), sim_us(events_.now() - submit),
+                               trace_track());
   }
-  free_procs_ -= job.processors;
+  const int procs = table_->processors(row);
+  free_procs_ -= procs;
   SPICE_ENSURE(free_procs_ >= 0, "site over-subscribed");
-  const std::uint64_t token = next_run_token_++;
   const double end = events_.now() + duration;
-  running_.push_back(Running{std::move(job), end, token, true});
-  events_.at(end, [this, token] { finish_job(token); });
+  table_->running_index(row) = static_cast<std::uint32_t>(running_.size());
+  running_.push_back(Running{row, end});
+  running_end_work_ += procs * end;
+  running_procs_ += procs;
+  table_->event_token(row) = events_.at(end, [this, row] { finish_row(row); });
 }
 
-void Site::finish_job(std::uint64_t run_token) {
-  const auto it =
-      std::find_if(running_.begin(), running_.end(),
-                   [run_token](const Running& r) { return r.alive && r.run_token == run_token; });
-  if (it == running_.end()) return;  // killed by an outage before finishing
-  Job job = std::move(it->job);
-  running_.erase(it);
-  free_procs_ += job.processors;
-  job.state = JobState::Completed;
-  job.end_time = events_.now();
-  job.consumed_cpu_hours += job.processors * (job.end_time - job.start_time);
-  job.completed_fraction = 1.0;
-  busy_proc_hours_ += job.processors * (job.end_time - job.start_time);
+void Site::finish_row(JobRow row) {
+  // O(1) removal: the row carries its running_ index; fix up the entry
+  // swapped into its place.
+  const std::uint32_t idx = table_->running_index(row);
+  const double ended_at = running_[idx].end_time;
+  running_[idx] = running_.back();
+  table_->running_index(running_[idx].row) = idx;
+  running_.pop_back();
+  table_->event_token(row) = kInvalidToken;
+
+  const int procs = table_->processors(row);
+  free_procs_ += procs;
+  running_procs_ -= procs;
+  running_end_work_ = running_.empty() ? 0.0 : running_end_work_ - procs * ended_at;
+  table_->set_state(row, RowState::Completed);
+  table_->end_time(row) = events_.now();
+  const double wall = events_.now() - table_->start_time(row);
+  table_->consumed_cpu_hours(row) += procs * wall;
+  table_->completed_fraction(row) = 1.0;
+  busy_proc_hours_ += procs * wall;
   {
     static obs::Counter& completed = obs::metrics().counter("grid.site.jobs_completed");
     completed.add(1);
   }
-  if (obs::Tracer* tracer = events_.tracer()) {
-    tracer->complete(job.name, "grid.job.run", sim_us(job.start_time),
-                     sim_us(job.end_time - job.start_time), trace_track(),
-                     std::to_string(job.processors) + " procs");
+  if (traced(row)) {
+    events_.tracer()->complete(table_->display_name(row), "grid.job.run",
+                               sim_us(table_->start_time(row)), sim_us(wall), trace_track(),
+                               std::to_string(procs) + " procs");
   }
-  if (on_done_) on_done_(job);
+  complete_row(row);
   dispatch();
 }
 
@@ -171,12 +204,12 @@ void Site::dispatch() {
   if (in_outage()) return;
   // FCFS: start queue heads while they fit.
   while (!queue_.empty()) {
-    Job& head = queue_.front();
-    const double duration = head.remaining_hours() / spec_.speed;
-    if (!fits_now(head.processors, duration)) break;
-    Job job = std::move(head);
+    const JobRow head = queue_.front();
+    const double duration = table_->remaining_hours(head) / spec_.speed;
+    if (!fits_now(table_->processors(head), duration)) break;
     queue_.pop_front();
-    start_job(std::move(job));
+    queued_work_ -= queued_work_of(head);
+    start_row(head);
   }
   if (queue_.empty()) return;
 
@@ -184,38 +217,50 @@ void Site::dispatch() {
   // they fit now and finish before the head's shadow time.
   const double shadow = shadow_time(queue_.front());
   for (auto it = queue_.begin() + 1; it != queue_.end();) {
-    const double duration = it->remaining_hours() / spec_.speed;
-    if (fits_now(it->processors, duration) && events_.now() + duration <= shadow) {
-      Job job = std::move(*it);
+    const JobRow row = *it;
+    const double duration = table_->remaining_hours(row) / spec_.speed;
+    if (fits_now(table_->processors(row), duration) &&
+        events_.now() + duration <= shadow) {
       it = queue_.erase(it);
-      start_job(std::move(job));
+      queued_work_ -= queued_work_of(row);
+      start_row(row);
     } else {
       ++it;
     }
   }
 }
 
-void Site::fail_job(Job job, const char* reason) {
-  const bool was_running = job.state == JobState::Running;
-  job.state = JobState::Failed;
-  job.end_time = events_.now();
-  job.site = spec_.name;
-  job.name += std::string(" [") + reason + "]";
+void Site::fail_row(JobRow row, const char* reason) {
+  const bool was_running = table_->state(row) == RowState::Running;
+  table_->set_state(row, RowState::Failed);
+  table_->end_time(row) = events_.now();
+  table_->site(row) = id_;
+  table_->fail_reason(row) = reason;
   {
     static obs::Counter& failed = obs::metrics().counter("grid.site.jobs_failed");
     failed.add(1);
   }
-  if (obs::Tracer* tracer = events_.tracer()) {
+  if (traced(row)) {
+    const std::string name = table_->display_name(row) + " [" + reason + "]";
     // A job killed mid-run still gets its partial run on the timeline.
-    if (was_running && job.end_time > job.start_time) {
-      tracer->complete(job.name, "grid.job.failed", sim_us(job.start_time),
-                       sim_us(job.end_time - job.start_time), trace_track(), reason);
+    if (was_running && table_->end_time(row) > table_->start_time(row)) {
+      events_.tracer()->complete(name, "grid.job.failed", sim_us(table_->start_time(row)),
+                                 sim_us(table_->end_time(row) - table_->start_time(row)),
+                                 trace_track(), reason);
     } else {
-      tracer->instant(job.name, "grid.job.failed", sim_us(job.end_time), trace_track(),
-                      reason);
+      events_.tracer()->instant(name, "grid.job.failed", sim_us(table_->end_time(row)),
+                                trace_track(), reason);
     }
   }
-  if (on_done_) on_done_(job);
+}
+
+void Site::complete_row(JobRow row) {
+  if (on_done_) on_done_(table_->materialize(row));
+  if (on_done_row_) on_done_row_(row);
+  // A handler that re-queues the job claims the row by moving it out of
+  // its terminal state; otherwise its record is dead and the row recycles.
+  const RowState s = table_->state(row);
+  if (s == RowState::Completed || s == RowState::Failed) table_->release(row);
 }
 
 void Site::fail_until(double until) {
@@ -225,36 +270,49 @@ void Site::fail_until(double until) {
     static obs::Counter& outages = obs::metrics().counter("grid.site.outages");
     outages.add(1);
   }
-  // Forward-dated: the whole outage window is known at onset.
+  // Forward-dated: the whole outage window is known at onset. Outage spans
+  // are rare and operationally interesting, so they bypass sampling.
   if (obs::Tracer* tracer = events_.tracer()) {
     tracer->complete("outage", "grid.site.outage", sim_us(events_.now()),
                      sim_us(until - events_.now()), trace_track());
   }
   // Kill running jobs, crediting work up to the last completed checkpoint:
   // the lost tail beyond it is wasted CPU, the rest shrinks the re-run.
+  // Each pending finish event is cancelled outright — no stale event ever
+  // fires for a killed attempt.
   std::vector<Running> dead;
   dead.swap(running_);
-  for (auto& r : dead) {
-    free_procs_ += r.job.processors;
-    Job job = std::move(r.job);
-    const double elapsed = events_.now() - job.start_time;
+  running_end_work_ = 0.0;
+  running_procs_ = 0;
+  for (const auto& r : dead) {
+    events_.cancel(table_->event_token(r.row));
+    table_->event_token(r.row) = kInvalidToken;
+    const int procs = table_->processors(r.row);
+    free_procs_ += procs;
+    const double elapsed = events_.now() - table_->start_time(r.row);
+    const double interval = table_->checkpoint_interval_hours(r.row);
     double credited_wall = 0.0;
-    if (job.checkpoint_interval_hours > 0.0 && elapsed > 0.0) {
-      credited_wall = std::floor(elapsed / job.checkpoint_interval_hours) *
-                      job.checkpoint_interval_hours;
+    if (interval > 0.0 && elapsed > 0.0) {
+      credited_wall = std::floor(elapsed / interval) * interval;
     }
-    job.consumed_cpu_hours += job.processors * elapsed;
-    job.wasted_cpu_hours += job.processors * (elapsed - credited_wall);
+    table_->consumed_cpu_hours(r.row) += procs * elapsed;
+    table_->wasted_cpu_hours(r.row) += procs * (elapsed - credited_wall);
     if (credited_wall > 0.0) {
-      job.completed_fraction = std::min(
-          1.0, job.completed_fraction + credited_wall * spec_.speed / job.runtime_hours);
+      table_->completed_fraction(r.row) =
+          std::min(1.0, table_->completed_fraction(r.row) +
+                            credited_wall * spec_.speed / table_->runtime_hours(r.row));
     }
-    fail_job(std::move(job), "site outage");
+    fail_row(r.row, "site outage");
+    complete_row(r.row);
   }
   // Kill queued jobs (no CPU burned, nothing credited or wasted).
-  std::deque<Job> queued;
+  std::deque<JobRow> queued;
   queued.swap(queue_);
-  for (auto& j : queued) fail_job(std::move(j), "site outage");
+  queued_work_ = 0.0;
+  for (const JobRow row : queued) {
+    fail_row(row, "site outage");
+    complete_row(row);
+  }
   // Resume dispatching when the outage lifts. A longer overlapping outage
   // scheduled later suppresses the earlier recovery.
   events_.at(until, [this] {

@@ -7,14 +7,23 @@
 // queue entries may start immediately only if they fit in the currently
 // free processors AND are guaranteed to finish before the shadow time, so
 // backfilling never delays the head job.
+//
+// Jobs live as JobTable rows; the queue and running set hold row indices.
+// Finish events are cancellable: an outage cancels the pending finish of
+// every killed job outright (no stale fired-and-ignored events), and the
+// legacy run-token machinery is gone. The Job-struct entry points
+// (submit(Job), CompletionHandler) remain for callers that predate the
+// table and for tests.
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "grid/des.hpp"
 #include "grid/job.hpp"
+#include "grid/job_table.hpp"
 
 namespace spice::grid {
 
@@ -41,26 +50,45 @@ struct Reservation {
 class Site {
  public:
   using CompletionHandler = std::function<void(const Job&)>;
+  /// Flyweight completion path: receives the row while it still holds the
+  /// terminal state. A handler that re-queues the job must move the row
+  /// out of Completed/Failed (e.g. to Backoff) to keep it alive; rows
+  /// left terminal are released when the handler returns.
+  using RowCompletionHandler = std::function<void(JobRow)>;
+  using RecoveryHandler = std::function<void()>;
 
+  /// Standalone site owning its own JobTable (tests, single-site demos).
   Site(SiteSpec spec, EventQueue& events);
+  /// Federation member sharing the federation's JobTable.
+  Site(SiteSpec spec, EventQueue& events, JobTable& table);
 
   Site(const Site&) = delete;
   Site& operator=(const Site&) = delete;
 
   [[nodiscard]] const SiteSpec& spec() const { return spec_; }
   [[nodiscard]] const std::string& name() const { return spec_.name; }
-
-  using RecoveryHandler = std::function<void()>;
+  [[nodiscard]] JobTable& jobs() { return *table_; }
+  [[nodiscard]] SiteId site_id() const { return id_; }
 
   /// Called whenever a job reaches Completed or Failed.
   void set_completion_handler(CompletionHandler handler) { on_done_ = std::move(handler); }
+  void set_row_completion_handler(RowCompletionHandler handler) {
+    on_done_row_ = std::move(handler);
+  }
 
   /// Called when an outage lifts and the site is usable again (fires once
   /// per outage end, suppressed while a longer overlapping outage holds).
   void set_recovery_handler(RecoveryHandler handler) { on_recovered_ = std::move(handler); }
 
+  /// Emit per-job trace spans only for jobs with id % n == 0 (outage spans
+  /// are always emitted). 1 = trace every job; large n keeps tracing
+  /// affordable on million-job campaigns.
+  void set_trace_sampling(std::uint32_t n) { trace_sample_ = n == 0 ? 1 : n; }
+
   /// Enqueue a job (state → Queued) and try to dispatch.
   void submit(Job job);
+  /// Enqueue an existing table row (broker fast path).
+  void submit_row(JobRow row);
 
   /// Reserve processors for [start, end); queued batch jobs will not be
   /// started into the reserved capacity.
@@ -77,18 +105,15 @@ class Site {
   /// Busy processor-hours accumulated by finished jobs.
   [[nodiscard]] double busy_proc_hours() const { return busy_proc_hours_; }
   /// Estimated hours of queued work per processor (broker load signal).
+  /// O(1): both queued and running work are tracked incrementally, so a
+  /// LeastBacklog scan over a 1000-site federation costs O(sites) flat.
   [[nodiscard]] double backlog_hours() const;
   [[nodiscard]] const std::vector<Reservation>& reservations() const { return reservations_; }
 
  private:
   struct Running {
-    Job job;
+    JobRow row;
     double end_time;
-    /// Distinguishes attempts: a job killed by an outage and later
-    /// re-submitted here must not be completed by the first attempt's
-    /// still-pending finish event.
-    std::uint64_t run_token;
-    bool alive = true;
   };
 
   /// Max processors held by reservations at any instant in [t0, t1).
@@ -97,26 +122,44 @@ class Site {
   [[nodiscard]] bool fits_now(int procs, double duration) const;
   /// Earliest time the queue head could start, given current running jobs
   /// and reservations (the EASY "shadow time").
-  [[nodiscard]] double shadow_time(const Job& head) const;
-  void start_job(Job job);
-  void finish_job(std::uint64_t run_token);
+  [[nodiscard]] double shadow_time(JobRow head) const;
+  /// Per-row reference work (procs × remaining / speed) for the backlog.
+  [[nodiscard]] double queued_work_of(JobRow row) const;
+  void start_row(JobRow row);
+  void finish_row(JobRow row);
   void dispatch();
-  void fail_job(Job job, const char* reason);
+  void fail_row(JobRow row, const char* reason);
+  /// Fan completion out to handlers, then release the row unless a
+  /// handler claimed it by moving it out of its terminal state.
+  void complete_row(JobRow row);
+  [[nodiscard]] bool traced(JobRow row) const;
   /// This site's track on the event queue's virtual-clock tracer (lazily
   /// allocated and named after the site); 0 when no tracer is attached.
   [[nodiscard]] std::uint32_t trace_track();
 
   SiteSpec spec_;
   EventQueue& events_;
+  std::unique_ptr<JobTable> owned_table_;  ///< standalone-constructor storage
+  JobTable* table_;
+  SiteId id_;
   CompletionHandler on_done_;
+  RowCompletionHandler on_done_row_;
   RecoveryHandler on_recovered_;
   int free_procs_;
-  std::deque<Job> queue_;
+  std::deque<JobRow> queue_;
   std::vector<Running> running_;
   std::vector<Reservation> reservations_;
   double outage_until_ = -1.0;
   double busy_proc_hours_ = 0.0;
-  std::uint64_t next_run_token_ = 0;
+  double queued_work_ = 0.0;  ///< Σ queued_work_of(row) over queue_
+  /// Running-work accumulators for the O(1) backlog: Σ procs × end_time
+  /// and Σ procs over running_. Σ procs × (end − now) falls out as
+  /// running_end_work_ − now × running_procs_; both reset to exactly zero
+  /// whenever running_ empties, so FP drift cannot accumulate across the
+  /// campaign.
+  double running_end_work_ = 0.0;
+  int running_procs_ = 0;
+  std::uint32_t trace_sample_ = 1;
   std::uint32_t trace_track_ = 0;
 };
 

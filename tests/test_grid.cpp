@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "grid/coordination.hpp"
 #include "grid/coscheduling.hpp"
 #include "grid/des.hpp"
@@ -74,6 +77,142 @@ TEST(EventQueue, RejectsPastEvents) {
   q.at(5.0, [] {});
   q.run();
   EXPECT_THROW(q.at(1.0, [] {}), PreconditionError);
+}
+
+TEST(EventQueue, FifoAcrossManyEqualTimeEvents) {
+  // Thousands of same-timestamp events interleaved with other times force
+  // the calendar through bucket resizes; the (time, seq) tie-break must
+  // keep exact scheduling order throughout.
+  EventQueue q;
+  std::vector<int> order;
+  order.reserve(4000);
+  for (int i = 0; i < 2000; ++i) {
+    q.at(7.0, [&order, i] { order.push_back(i); });
+    q.at(3.0 + 0.001 * i, [] {});
+  }
+  q.run();
+  ASSERT_EQ(order.size(), 2000u);
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(order[i], i);
+  EXPECT_EQ(q.processed(), 4000u);
+}
+
+TEST(EventQueue, RunUntilFiresEventExactlyAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.at(2.0, [&] { fired.push_back(2.0); });
+  q.at(5.0, [&] { fired.push_back(5.0); });
+  q.at(5.0 + 1e-9, [&] { fired.push_back(5.1); });
+  q.run_until(5.0);
+  // An event AT t_end fires; the one just beyond stays queued.
+  EXPECT_EQ(fired, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, HandlerMayScheduleAtTheCurrentTimestamp) {
+  // An event scheduled from inside a handler at now() runs in this very
+  // sweep, after every earlier-scheduled event at the same time.
+  EventQueue q;
+  std::vector<int> order;
+  q.at(4.0, [&] {
+    order.push_back(0);
+    q.at(4.0, [&] { order.push_back(3); });  // same timestamp, new seq
+  });
+  q.at(4.0, [&] { order.push_back(1); });
+  q.at(4.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, CancelledEventNeverFires) {
+  EventQueue q;
+  int fired = 0;
+  const EventToken token = q.at(2.0, [&] { ++fired; });
+  q.at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(q.pending(token));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(token));
+  EXPECT_FALSE(q.pending(token));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.cancel(token));  // second cancel is a harmless no-op
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.processed(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);  // the cancelled event never advanced time
+}
+
+TEST(EventQueue, CancelTokenOfFiredEventIsInert) {
+  EventQueue q;
+  const EventToken token = q.at(1.0, [] {});
+  q.run();
+  EXPECT_FALSE(q.pending(token));
+  EXPECT_FALSE(q.cancel(token));
+  // The slot is recycled; the stale token must not cancel the new event.
+  int fired = 0;
+  q.at(2.0, [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(token));
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, HandlerMayCancelALaterEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventToken doomed = kInvalidToken;
+  q.at(1.0, [&] { EXPECT_TRUE(q.cancel(doomed)); });
+  doomed = q.at(1.0, [&] { ++fired; });  // same sweep, later seq
+  q.at(2.0, [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, CalendarMatchesBinaryHeapDifferentially) {
+  // Drive both backends through an identical randomized schedule/cancel
+  // script (deterministic Rng stream) and require identical fire
+  // sequences — the calendar's bucketing must be unobservable.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 2005ULL}) {
+    EventQueue cal(EventQueue::Backend::Calendar);
+    EventQueue heap(EventQueue::Backend::BinaryHeap);
+    std::vector<std::pair<double, int>> fired_cal;
+    std::vector<std::pair<double, int>> fired_heap;
+    std::vector<EventToken> tokens_cal;
+    std::vector<EventToken> tokens_heap;
+    Rng rng = Rng::stream(seed, 0xde5ULL, 0);
+    int label = 0;
+    auto schedule_batch = [&](EventQueue& q, auto& fired, auto& tokens, int base) {
+      int l = base;
+      for (int i = 0; i < 200; ++i) {
+        // Times cluster around a few hot spots plus a uniform tail, with
+        // deliberate exact duplicates to stress the FIFO tie-break.
+        const double r = rng.uniform();
+        const double t = q.now() + (i % 5 == 0 ? 1.0 : r * 50.0);
+        const int id = l++;
+        tokens.push_back(q.at(t, [&q, &fired, id] { fired.push_back({q.now(), id}); }));
+      }
+    };
+    for (int round = 0; round < 5; ++round) {
+      const auto draws_before = rng;  // replay identical draws for both queues
+      schedule_batch(cal, fired_cal, tokens_cal, label);
+      rng = draws_before;
+      schedule_batch(heap, fired_heap, tokens_heap, label);
+      label += 200;
+      // Cancel a deterministic subset on both queues.
+      for (std::size_t k = round; k < tokens_cal.size(); k += 7) {
+        cal.cancel(tokens_cal[k]);
+        heap.cancel(tokens_heap[k]);
+      }
+      // Drain partway, then schedule the next batch on the advanced clock.
+      cal.run_until(cal.now() + 20.0);
+      heap.run_until(heap.now() + 20.0);
+      ASSERT_EQ(fired_cal, fired_heap) << "diverged in round " << round;
+    }
+    cal.run();
+    heap.run();
+    ASSERT_EQ(fired_cal, fired_heap);
+    EXPECT_EQ(cal.processed(), heap.processed());
+  }
 }
 
 // --- Site scheduling -------------------------------------------------------------
