@@ -1,0 +1,285 @@
+// Batched ensemble MD throughput — EnsembleEngine with runtime-dispatched
+// SIMD kernels vs the one-engine-per-replica status quo.
+//
+// Arms (N replicas of one compact ionic cluster, identical seeds across
+// arms):
+//   baseline_scalar  — N independent Engine clones, scalar kernels, stepped
+//                      one after another (the pre-ensemble campaign path);
+//   ensemble_scalar  — EnsembleEngine, scalar kernels: same physics, shared
+//                      replica-major arena. Claim check: every replica's
+//                      checkpoint is BYTE-identical to its baseline twin;
+//   ensemble_native  — EnsembleEngine with the host's detected SIMD level
+//                      (AVX2/NEON), the production dispatch.
+//
+// Each arm steps its trajectory (reported as steps/s/replica) and then
+// times a block of pure force evaluations on the evolved configurations —
+// the quantity the SIMD kernels actually accelerate, with the integrator,
+// thermostat RNG and neighbour rebuilds out of the numerator.
+//
+// Gate: ensemble_native per-replica FORCE-EVAL throughput ≥ 2× the
+// baseline_scalar arm at N = 64. The arms pin their dispatch level through
+// MdConfig (not SPICE_SIMD), so a CI job forcing the env to scalar still
+// measures the native arm natively; on hosts with no vector unit the gate
+// is reported as skipped. Writes BENCH_ensemble_md.json. `--smoke` runs
+// N = 8 with short trajectories and checks bitwise equality only.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "md/engine.hpp"
+#include "md/ensemble_engine.hpp"
+#include "md/simd.hpp"
+#include "md/topology.hpp"
+
+using namespace spice;
+using namespace spice::md;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2005;
+
+/// A compact ionic cluster: a bonded chain snaking over a cubic lattice
+/// with alternating charges (NaCl-like order, so the Debye–Hückel
+/// cohesion holds the cluster together at 300 K). Nearly every neighbour
+/// pair sits inside the cutoff, which makes the load nonbonded-dominated
+/// — like the production pore systems, and unlike an extended coil where
+/// most candidate pairs are dead.
+Engine make_master(std::size_t beads, simd::Request request) {
+  constexpr double kSpacing = 3.6;  ///< Å; outside the WCA shell (2^{1/6}·3)
+  Topology topo;
+  for (std::size_t i = 0; i < beads; ++i) {
+    topo.add_particle({.mass = 100.0,
+                       .charge = (i % 2 == 0) ? -1.0 : 1.0,
+                       .radius = 1.5,
+                       .name = "B"});
+  }
+  for (std::uint32_t i = 0; i + 1 < beads; ++i) {
+    topo.add_bond({i, i + 1, 10.0, kSpacing});
+  }
+  MdConfig cfg;
+  cfg.dt = 0.005;
+  cfg.seed = kSeed;
+  cfg.threads = 1;
+  cfg.simd = request;
+  Engine engine(std::move(topo), NonbondedParams{}, cfg);
+  std::vector<Vec3> xs(beads);
+  const auto side = static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(beads))));
+  for (std::size_t i = 0; i < beads; ++i) {
+    const std::size_t iz = i / (side * side);
+    const std::size_t rem = i % (side * side);
+    std::size_t iy = rem / side;
+    std::size_t ix = rem % side;
+    if (iz % 2 == 1) iy = side - 1 - iy;  // serpentine: consecutive beads
+    if (iy % 2 == 1) ix = side - 1 - ix;  // stay lattice-adjacent
+    xs[i] = {kSpacing * static_cast<double>(ix), kSpacing * static_cast<double>(iy),
+             kSpacing * static_cast<double>(iz)};
+  }
+  engine.set_positions(xs);
+  engine.initialize_velocities(300.0);
+  return engine;
+}
+
+std::vector<std::uint64_t> replica_seeds(std::size_t n) {
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    seeds[r] = SplitMix64(kSeed ^ (0x72ULL << 32) ^ r).next();
+  }
+  return seeds;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ArmResult {
+  double wall_s = 0.0;
+  double steps_per_sec_per_replica = 0.0;
+  double force_evals_per_sec_per_replica = 0.0;
+  std::vector<Checkpoint> checkpoints;
+};
+
+constexpr std::size_t kEvalRounds = 100;       ///< force-eval timing rounds
+constexpr std::size_t kEvalRoundsSmoke = 10;
+
+/// Time `rounds` full force evaluations per replica on the current
+/// (post-trajectory) configurations. `eval_all` must evaluate every
+/// replica once.
+template <typename EvalAll>
+double time_force_evals(EvalAll&& eval_all, std::size_t replicas, std::size_t rounds) {
+  eval_all();  // warm caches; make sure neighbour lists are current
+  const double t0 = now_s();
+  for (std::size_t k = 0; k < rounds; ++k) eval_all();
+  const double per_eval = (now_s() - t0) / static_cast<double>(rounds * replicas);
+  return 1.0 / per_eval;
+}
+
+/// One engine per replica, stepped serially — the pre-ensemble campaign
+/// schedule on a single worker.
+ArmResult run_baseline(std::size_t beads, std::size_t replicas, std::size_t steps,
+                       std::size_t eval_rounds, simd::Request request) {
+  const Engine master = make_master(beads, request);
+  const std::vector<std::uint64_t> seeds = replica_seeds(replicas);
+  std::vector<Engine> engines;
+  engines.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) engines.push_back(master.clone(seeds[r]));
+
+  const double t0 = now_s();
+  for (auto& engine : engines) engine.step(steps);
+  ArmResult result;
+  result.wall_s = now_s() - t0;
+  result.steps_per_sec_per_replica =
+      static_cast<double>(steps) / result.wall_s;
+  result.checkpoints.reserve(replicas);
+  for (const auto& engine : engines) result.checkpoints.push_back(engine.checkpoint());
+  result.force_evals_per_sec_per_replica = time_force_evals(
+      [&] {
+        for (auto& engine : engines) engine.compute_energies();
+      },
+      replicas, eval_rounds);
+  return result;
+}
+
+ArmResult run_ensemble(std::size_t beads, std::size_t replicas, std::size_t steps,
+                       std::size_t eval_rounds, simd::Request request) {
+  const Engine master = make_master(beads, request);
+  const std::vector<std::uint64_t> seeds = replica_seeds(replicas);
+  EnsembleEngine ensemble(master, seeds);
+
+  const double t0 = now_s();
+  ensemble.step_all(steps);
+  ArmResult result;
+  result.wall_s = now_s() - t0;
+  result.steps_per_sec_per_replica =
+      static_cast<double>(steps) / result.wall_s;
+  result.checkpoints.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    result.checkpoints.push_back(ensemble.checkpoint(r));
+  }
+  result.force_evals_per_sec_per_replica = time_force_evals(
+      [&] {
+        for (std::size_t r = 0; r < ensemble.size(); ++r) {
+          ensemble.replica(r).compute_energies();
+        }
+      },
+      replicas, eval_rounds);
+  return result;
+}
+
+bool bitwise_equal(const std::vector<Checkpoint>& a, const std::vector<Checkpoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].bytes != b[r].bytes) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+
+  const std::size_t beads = 128;
+  const std::size_t replicas = smoke ? 8 : 64;
+  const std::size_t steps = smoke ? 40 : 300;
+  const std::size_t eval_rounds = smoke ? kEvalRoundsSmoke : kEvalRounds;
+
+  const simd::Level native = simd::detect();
+  simd::Request native_request = simd::Request::Scalar;
+  switch (native) {
+    case simd::Level::AVX2: native_request = simd::Request::AVX2; break;
+    case simd::Level::NEON: native_request = simd::Request::NEON; break;
+    case simd::Level::Scalar: break;
+  }
+  const bool have_simd = native != simd::Level::Scalar;
+
+  std::printf("================================================================\n");
+  std::printf("Ensemble MD | batched replicas + runtime-dispatched SIMD kernels\n");
+  std::printf("================================================================\n");
+  std::printf("\nsystem: %zu-bead ionic cluster, N = %zu replicas, %zu steps each\n",
+              beads, replicas, steps);
+  std::printf("native SIMD level: %s\n", std::string(simd::name(native)).c_str());
+
+  std::printf("\n[baseline_scalar] N independent engines, scalar kernels ...\n");
+  const ArmResult base =
+      run_baseline(beads, replicas, steps, eval_rounds, simd::Request::Scalar);
+  std::printf("  %.2f s, %.0f steps/s/replica, %.0f force-evals/s/replica\n",
+              base.wall_s, base.steps_per_sec_per_replica,
+              base.force_evals_per_sec_per_replica);
+
+  std::printf("\n[ensemble_scalar] EnsembleEngine, scalar kernels ...\n");
+  const ArmResult ens_scalar =
+      run_ensemble(beads, replicas, steps, eval_rounds, simd::Request::Scalar);
+  std::printf("  %.2f s, %.0f steps/s/replica, %.0f force-evals/s/replica\n",
+              ens_scalar.wall_s, ens_scalar.steps_per_sec_per_replica,
+              ens_scalar.force_evals_per_sec_per_replica);
+  const bool bitwise = bitwise_equal(base.checkpoints, ens_scalar.checkpoints);
+  std::printf("  checkpoints vs baseline -> %s\n",
+              bitwise ? "byte-identical" : "DIVERGED");
+
+  ArmResult ens_native;
+  double speedup = 0.0;
+  double step_speedup = 0.0;
+  if (have_simd) {
+    std::printf("\n[ensemble_native] EnsembleEngine, %s kernels ...\n",
+                std::string(simd::name(native)).c_str());
+    ens_native = run_ensemble(beads, replicas, steps, eval_rounds, native_request);
+    std::printf("  %.2f s, %.0f steps/s/replica, %.0f force-evals/s/replica\n",
+                ens_native.wall_s, ens_native.steps_per_sec_per_replica,
+                ens_native.force_evals_per_sec_per_replica);
+    speedup = ens_native.force_evals_per_sec_per_replica /
+              base.force_evals_per_sec_per_replica;
+    step_speedup =
+        ens_native.steps_per_sec_per_replica / base.steps_per_sec_per_replica;
+  }
+
+  std::printf("\n--- Claim checks ---\n");
+  std::printf("[%s] ensemble scalar replicas byte-identical to standalone engines\n",
+              bitwise ? "PASS" : "FAIL");
+  bool gate_ok = true;
+  if (smoke) {
+    std::printf("[SKIP] throughput gate (smoke run)\n");
+  } else if (!have_simd) {
+    std::printf("[SKIP] throughput gate (no vector unit on this host)\n");
+  } else {
+    gate_ok = speedup >= 2.0;
+    std::printf(
+        "[%s] ensemble_native >= 2x baseline per-replica force-eval throughput "
+        "(%.2fx; stepping %.2fx)\n",
+        gate_ok ? "PASS" : "FAIL", speedup, step_speedup);
+  }
+
+  std::ofstream json("BENCH_ensemble_md.json");
+  json << "{\n"
+       << " \"system\": {\"beads\": " << beads << ", \"replicas\": " << replicas
+       << ", \"steps\": " << steps << ", \"eval_rounds\": " << eval_rounds << "},\n"
+       << " \"native_level\": \"" << simd::name(native) << "\",\n"
+       << " \"baseline_scalar\": {\"wall_s\": " << base.wall_s
+       << ", \"steps_per_sec_per_replica\": " << base.steps_per_sec_per_replica
+       << ", \"force_evals_per_sec_per_replica\": "
+       << base.force_evals_per_sec_per_replica << "},\n"
+       << " \"ensemble_scalar\": {\"wall_s\": " << ens_scalar.wall_s
+       << ", \"steps_per_sec_per_replica\": " << ens_scalar.steps_per_sec_per_replica
+       << ", \"force_evals_per_sec_per_replica\": "
+       << ens_scalar.force_evals_per_sec_per_replica
+       << ", \"bitwise_vs_baseline\": " << (bitwise ? "true" : "false") << "}";
+  if (have_simd && !smoke) {
+    json << ",\n \"ensemble_native\": {\"wall_s\": " << ens_native.wall_s
+         << ", \"steps_per_sec_per_replica\": "
+         << ens_native.steps_per_sec_per_replica
+         << ", \"force_evals_per_sec_per_replica\": "
+         << ens_native.force_evals_per_sec_per_replica
+         << ", \"force_eval_speedup_vs_baseline\": " << speedup
+         << ", \"step_speedup_vs_baseline\": " << step_speedup << "}";
+  }
+  json << "\n}\n";
+  std::printf("\nwrote BENCH_ensemble_md.json\n");
+
+  return (bitwise && gate_ok) ? 0 : 1;
+}

@@ -120,7 +120,10 @@ void P2Quantile::add(double x) {
   ++n_;
   // Adjust interior markers toward their desired positions, preferring the
   // piecewise-parabolic (P²) height update, falling back to linear when the
-  // parabola would break marker monotonicity.
+  // parabola would break marker monotonicity. Both branches are clamped to
+  // the bracketing marker heights: with near-duplicate heights the linear
+  // step `qi + s·(qj − qi)/gap` can round past qj, and an estimator whose
+  // markers cross never recovers (the cell search assumes sorted heights).
   for (std::size_t i = 1; i <= 3; ++i) {
     const double d = desired_[i] - positions_[i];
     const bool right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
@@ -129,19 +132,27 @@ void P2Quantile::add(double x) {
     const double s = right ? 1.0 : -1.0;
     const double qp = heights_[i + 1];
     const double qm = heights_[i - 1];
-    const double np = positions_[i + 1];
-    const double nm = positions_[i - 1];
-    const double n0 = positions_[i];
-    const double parabolic =
-        heights_[i] + s / (np - nm) *
-                          ((n0 - nm + s) * (qp - heights_[i]) / (np - n0) +
-                           (np - n0 - s) * (heights_[i] - qm) / (n0 - nm));
-    if (qm < parabolic && parabolic < qp) {
-      heights_[i] = parabolic;
-    } else {
-      const std::size_t j = right ? i + 1 : i - 1;
-      heights_[i] +=
-          s * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+    // Duplicate-saturated cell (a run of equal samples pinned all three
+    // markers): the height cannot move, but the position must — otherwise
+    // the marker keeps re-qualifying and the parabola is fed a degenerate
+    // bracket on the next distinct sample.
+    if (qp > qm) {
+      const double np = positions_[i + 1];
+      const double nm = positions_[i - 1];
+      const double n0 = positions_[i];
+      const double parabolic =
+          heights_[i] + s / (np - nm) *
+                            ((n0 - nm + s) * (qp - heights_[i]) / (np - n0) +
+                             (np - n0 - s) * (heights_[i] - qm) / (n0 - nm));
+      if (qm < parabolic && parabolic < qp) {
+        heights_[i] = parabolic;
+      } else {
+        const std::size_t j = right ? i + 1 : i - 1;
+        const double linear =
+            heights_[i] +
+            s * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+        heights_[i] = std::clamp(linear, qm, qp);
+      }
     }
     positions_[i] += s;
   }

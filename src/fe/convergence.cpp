@@ -87,4 +87,14 @@ double endpoint_work(const spice::smd::PullResult& pull, double pull_distance,
   return ensemble.work[0][1];
 }
 
+std::vector<double> endpoint_works(std::span<const spice::smd::PullResult> pulls,
+                                   double pull_distance, WorkSource source) {
+  std::vector<double> works;
+  works.reserve(pulls.size());
+  for (const auto& pull : pulls) {
+    works.push_back(endpoint_work(pull, pull_distance, source));
+  }
+  return works;
+}
+
 }  // namespace spice::fe

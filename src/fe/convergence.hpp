@@ -81,4 +81,10 @@ class ConvergenceTracker {
 [[nodiscard]] double endpoint_work(const spice::smd::PullResult& pull, double pull_distance,
                                    WorkSource source);
 
+/// Batch form for ensemble waves: endpoint work of each pull, in input
+/// order (the order streaming trackers must consume them in to match the
+/// serial one-pull-at-a-time campaign).
+[[nodiscard]] std::vector<double> endpoint_works(
+    std::span<const spice::smd::PullResult> pulls, double pull_distance, WorkSource source);
+
 }  // namespace spice::fe

@@ -135,26 +135,39 @@ void EventQueue::collect_live(std::vector<Entry>& out) {
 
 double EventQueue::pick_width(const std::vector<Entry>& live) const {
   if (live.size() < 2) return 1.0;
-  // Sample event times evenly, then set the bucket width to twice the
-  // median inter-event gap, so a bucket holds a couple of events on
-  // average. All-equal timestamps fall back to a unit width (everything
-  // lands in one bucket, whose sorted order makes FIFO exact anyway).
+  // Sample event times spread across the whole live set (ceil-spaced so
+  // the last sample lands near the back — front-only sampling once picked
+  // a width from an equal-timestamp prefix while the tail spanned hours),
+  // then set the bucket width to twice the median inter-event gap, so a
+  // bucket holds a couple of events on average.
   std::vector<double> times;
   const std::size_t samples = std::min<std::size_t>(live.size(), 64);
-  const std::size_t stride = live.size() / samples;
   times.reserve(samples);
-  for (std::size_t i = 0; i < samples; ++i) times.push_back(live[i * stride].time);
+  for (std::size_t i = 0; i < samples; ++i) {
+    times.push_back(live[(i * live.size()) / samples].time);
+  }
   std::sort(times.begin(), times.end());
+  // Minimum width relative to the timestamp magnitude: far from t = 0 a
+  // double's resolution is |t|·2⁻⁵², and a width below a few ulps maps
+  // adjacent representable timestamps to buckets that are many indices
+  // apart (or, after `(t − epoch)/width`, straight into overflow), so the
+  // queue degenerates into a rebuild-per-event crawl.
+  const double scale = std::max(std::abs(times.front()), std::abs(times.back()));
+  const double min_width = std::max(1e-12, scale * 1e-14);
   std::vector<double> gaps;
   gaps.reserve(times.size());
   for (std::size_t i = 1; i < times.size(); ++i) {
     const double gap = times[i] - times[i - 1];
     if (gap > 0.0) gaps.push_back(gap);
   }
-  if (gaps.empty()) return 1.0;
+  // All sampled gaps zero (every sampled event shares one timestamp):
+  // fall back to a magnitude-relative width instead of the old fixed 1.0,
+  // which for a cluster sitting far from the epoch mapped the entire set
+  // into overflow and re-rebuilt on every insert.
+  if (gaps.empty()) return std::max(1.0, min_width);
   std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
   const double width = 2.0 * gaps[gaps.size() / 2];
-  return std::isfinite(width) && width > 1e-12 ? width : 1e-12;
+  return std::isfinite(width) && width > min_width ? width : min_width;
 }
 
 void EventQueue::rebuild(double from_time) {

@@ -29,16 +29,25 @@ constexpr std::uint32_t kCheckpointVersion = 2;
 }  // namespace
 
 Engine::Engine(Topology topology, NonbondedParams nonbonded, MdConfig config)
+    : Engine(std::move(topology), nonbonded, config, nullptr, 0) {}
+
+Engine::Engine(Topology topology, NonbondedParams nonbonded, MdConfig config,
+               std::shared_ptr<StateArena> arena, std::size_t replica)
     : topology_(std::move(topology)), nonbonded_(nonbonded), config_(config) {
   SPICE_REQUIRE(config_.dt > 0.0, "timestep must be positive");
   SPICE_REQUIRE(config_.temperature >= 0.0, "temperature must be non-negative");
   SPICE_REQUIRE(config_.friction > 0.0, "Langevin friction must be positive");
   const std::size_t n = topology_.particle_count();
   SPICE_REQUIRE(n > 0, "engine needs at least one particle");
+  simd_level_ = simd::resolve(config_.simd);
   // Exclusions must be sorted before kernels query them from parallel
   // slices (Topology::finalize documents the contract).
   topology_.finalize();
-  state_.reset(topology_);
+  if (arena != nullptr) {
+    state_.reset(topology_, std::move(arena), replica);
+  } else {
+    state_.reset(topology_);
+  }
   neighbor_list_ = std::make_unique<NeighborList>(nonbonded_.cutoff, config_.neighbor_skin);
   // The kernel path consumes the cell grid directly; the materialized pair
   // list is only needed by the legacy/validation path.
@@ -119,8 +128,8 @@ void Engine::evaluate_forces_kernels() {
   const auto xs = state_.positions();
   neighbor_list_->maybe_rebuild(xs, topology_);
 
-  const KernelContext ctx{&state_,  &topology_, &nonbonded_,
-                          neighbor_list_.get(), time_,       kForceSlices};
+  const KernelContext ctx{&state_,  &topology_,   &nonbonded_, neighbor_list_.get(),
+                          time_,    kForceSlices, simd_level_};
   for (const auto& k : kernels_) k->begin_evaluation(ctx);
 
   const std::size_t n = state_.size();
@@ -502,7 +511,12 @@ void Engine::restore(const Checkpoint& snapshot) {
 Engine Engine::clone(std::uint64_t clone_seed) const {
   MdConfig cfg = config_;
   cfg.seed = clone_seed;
-  Engine copy(topology_, nonbonded_, cfg);
+  return clone_with(cfg, nullptr, 0);
+}
+
+Engine Engine::clone_with(MdConfig config, std::shared_ptr<StateArena> arena,
+                          std::size_t replica) const {
+  Engine copy(topology_, nonbonded_, config, std::move(arena), replica);
   copy.state_.set_positions(state_.positions());
   copy.state_.set_velocities(state_.velocities());
   copy.time_ = time_;

@@ -65,6 +65,10 @@ struct MdConfig {
   std::size_t threads = 1;     ///< force-evaluation worker threads
   double neighbor_skin = 2.0;  ///< Verlet skin, Å
   ForcePath force_path = ForcePath::Kernels;
+  /// SIMD dispatch request, resolved once at engine construction: Auto
+  /// follows the process-wide level (SPICE_SIMD env override, else CPU
+  /// detection); pinning Scalar selects the historical bit-exact loops.
+  simd::Request simd = simd::Request::Auto;
 };
 
 /// One external contribution's share of the potential energy.
@@ -96,6 +100,13 @@ struct Checkpoint {
 class Engine {
  public:
   Engine(Topology topology, NonbondedParams nonbonded, MdConfig config);
+  /// Ensemble-replica variant: dynamic state lives in slot `replica` of
+  /// `arena` (a shared replica-major slab) instead of a private allocation.
+  /// Behaviour is otherwise identical to the three-argument constructor —
+  /// EnsembleEngine relies on that equivalence for its bitwise-vs-
+  /// standalone determinism contract.
+  Engine(Topology topology, NonbondedParams nonbonded, MdConfig config,
+         std::shared_ptr<StateArena> arena, std::size_t replica);
   ~Engine();
 
   Engine(Engine&&) noexcept;
@@ -132,6 +143,8 @@ class Engine {
   [[nodiscard]] const SystemState& state() const { return state_; }
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] std::uint64_t step_count() const { return step_count_; }
+  /// SIMD level this engine resolved at construction.
+  [[nodiscard]] simd::Level simd_level() const { return simd_level_; }
 
   /// Recompute forces/energies for the current positions and return the
   /// breakdown (also refreshes forces()).
@@ -159,6 +172,13 @@ class Engine {
   /// original seed gives a bit-identical continuation.
   [[nodiscard]] Engine clone(std::uint64_t clone_seed) const;
 
+  /// Generalized clone: the copy runs under `config` (caller-adjusted seed,
+  /// thread count, …) and, when `arena` is non-null, binds its dynamic
+  /// state to slot `replica` of that shared slab. Same contribution-sharing
+  /// caveats as clone(). This is the EnsembleEngine construction path.
+  [[nodiscard]] Engine clone_with(MdConfig config, std::shared_ptr<StateArena> arena,
+                                  std::size_t replica) const;
+
  private:
   void ensure_forces_current();
   void evaluate_all_forces();
@@ -172,6 +192,7 @@ class Engine {
   Topology topology_;
   NonbondedParams nonbonded_;
   MdConfig config_;
+  simd::Level simd_level_ = simd::Level::Scalar;
 
   SystemState state_;
   EnergyBreakdown energies_;

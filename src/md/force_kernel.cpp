@@ -57,17 +57,26 @@ ForceAccumulator& ForceWorkspace::acquire_slice(std::size_t s) {
 void ForceWorkspace::reduce_forces(std::span<double> fx, std::span<double> fy,
                                    std::span<double> fz, ThreadPool* pool) const {
   auto reduce_range = [this, &fx, &fy, &fz](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      // Per-particle summation in ascending slice order: the order (and
-      // thus the rounding) is independent of how particles are chunked
-      // across threads.
-      Vec3 total;
-      for (const auto& s : slices_) {
-        if (i >= s.lo_ && i < s.hi_) total += s.forces_[i];
+    // Slice-major over the range: zero, then add each slice's touched
+    // window clipped to [begin, end). Per particle this still sums the
+    // slices in ascending order — the same rounding as the historical
+    // particle-major loop and independent of how particles are chunked
+    // across threads — but the inner loops are dense and branch-free
+    // instead of testing every slice window per particle.
+    std::fill(fx.begin() + static_cast<std::ptrdiff_t>(begin),
+              fx.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+    std::fill(fy.begin() + static_cast<std::ptrdiff_t>(begin),
+              fy.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+    std::fill(fz.begin() + static_cast<std::ptrdiff_t>(begin),
+              fz.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+    for (const auto& s : slices_) {
+      const std::size_t lo = std::max(begin, s.lo_);
+      const std::size_t hi = std::min(end, s.hi_);
+      for (std::size_t i = lo; i < hi; ++i) {
+        fx[i] += s.forces_[i].x;
+        fy[i] += s.forces_[i].y;
+        fz[i] += s.forces_[i].z;
       }
-      fx[i] = total.x;
-      fy[i] = total.y;
-      fz[i] = total.z;
     }
   };
   if (pool != nullptr) {
@@ -96,11 +105,59 @@ double ForceWorkspace::reduced_external(std::size_t contribution) const {
 
 // --- bonded kernels ------------------------------------------------------
 
+void BondKernel::begin_evaluation(const KernelContext& ctx) {
+  if (ctx.simd == simd::Level::Scalar) return;
+  // The bond table is immutable after Topology::finalize, so the packed
+  // SoA streams and per-slice windows only rebuild when the slice count
+  // changes (or on first use).
+  if (packed_.built && packed_.slice_count == ctx.slice_count) return;
+  const auto& bonds = ctx.topology->bonds();
+  packed_.i.clear();
+  packed_.j.clear();
+  packed_.k.clear();
+  packed_.r0.clear();
+  packed_.i.reserve(bonds.size());
+  packed_.j.reserve(bonds.size());
+  packed_.k.reserve(bonds.size());
+  packed_.r0.reserve(bonds.size());
+  for (const Bond& bond : bonds) {
+    packed_.i.push_back(static_cast<std::uint32_t>(bond.i));
+    packed_.j.push_back(static_cast<std::uint32_t>(bond.j));
+    packed_.k.push_back(bond.k);
+    packed_.r0.push_back(bond.r0);
+  }
+  packed_.lo.assign(ctx.slice_count, 0);
+  packed_.hi.assign(ctx.slice_count, 0);
+  for (std::size_t s = 0; s < ctx.slice_count; ++s) {
+    const auto [lo, hi] = share_of(bonds.size(), s, ctx.slice_count);
+    std::size_t plo = ctx.state->size();
+    std::size_t phi = 0;
+    for (std::size_t b = lo; b < hi; ++b) {
+      plo = std::min<std::size_t>(plo, std::min(bonds[b].i, bonds[b].j));
+      phi = std::max<std::size_t>(phi, std::max(bonds[b].i, bonds[b].j) + 1);
+    }
+    packed_.lo[s] = plo;
+    packed_.hi[s] = phi;
+  }
+  packed_.slice_count = ctx.slice_count;
+  packed_.built = true;
+}
+
 double BondKernel::evaluate_slice(const KernelContext& ctx, std::size_t slice,
                                   std::size_t slice_count, ForceAccumulator& acc) {
   const auto& bonds = ctx.topology->bonds();
-  const auto xs = ctx.state->positions();
   const auto [lo, hi] = share_of(bonds.size(), slice, slice_count);
+  if (ctx.simd != simd::Level::Scalar) {
+    if (lo >= hi) return 0.0;
+    acc.note_range(packed_.lo[slice], packed_.hi[slice]);
+    const simd::BondBatch batch{
+        ctx.state->x().data(), ctx.state->y().data(), ctx.state->z().data(),
+        packed_.i.data() + lo,  packed_.j.data() + lo,
+        packed_.k.data() + lo,  packed_.r0.data() + lo,
+        hi - lo};
+    return simd::bond_kernel(ctx.simd)(batch, acc.span().data());
+  }
+  const auto xs = ctx.state->positions();
   double energy = 0.0;
   for (std::size_t b = lo; b < hi; ++b) {
     const Bond& bond = bonds[b];
@@ -164,6 +221,21 @@ void NonbondedKernel::begin_evaluation(const KernelContext& ctx) {
   if (segments_.size() != ctx.slice_count) {
     segments_.assign(ctx.slice_count, SliceSegment{});
   }
+  if (ctx.simd != simd::Level::Scalar) {
+    // Refresh the packed (x,y,z,0) mirror the vector kernels load pair
+    // displacements from. Serial: every slice reads the same array.
+    const auto x = ctx.state->x();
+    const auto y = ctx.state->y();
+    const auto z = ctx.state->z();
+    const std::size_t n = x.size();
+    xyzw_.resize(4 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xyzw_[4 * i + 0] = x[i];
+      xyzw_[4 * i + 1] = y[i];
+      xyzw_[4 * i + 2] = z[i];
+      xyzw_[4 * i + 3] = 0.0;
+    }
+  }
 }
 
 void NonbondedKernel::refresh_segment(const KernelContext& ctx, std::size_t slice,
@@ -171,6 +243,12 @@ void NonbondedKernel::refresh_segment(const KernelContext& ctx, std::size_t slic
   (void)slice_count;
   SliceSegment& seg = segments_[slice];
   seg.pairs.clear();
+  seg.pi.clear();
+  seg.pj.clear();
+  seg.sigma.clear();
+  seg.pref.clear();
+  seg.sig2f.clear();
+  seg.pref_f.clear();
   const NeighborList& list = *ctx.neighbors;
   // Filter against the positions the cell bins were built from, not the
   // current ones. On the normal path they are the same array (a refresh
@@ -193,6 +271,30 @@ void NonbondedKernel::refresh_segment(const KernelContext& ctx, std::size_t slic
   seg.lo = lo;
   seg.hi = hi;
   seg.epoch = list.epoch();
+  if (ctx.simd != simd::Level::Scalar) {
+    // Pack the per-pair streams the vector kernels consume: indices plus
+    // sigma_i+sigma_j and the full Coulomb prefactor (0 for neutral pairs,
+    // which is exactly the vector kernels' DH mask condition).
+    const auto q = ctx.state->charge();
+    const auto radius = ctx.state->sigma();
+    const double coulomb_pref = units::kCoulomb / ctx.nonbonded->dielectric;
+    seg.pi.reserve(seg.pairs.size());
+    seg.pj.reserve(seg.pairs.size());
+    seg.sigma.reserve(seg.pairs.size());
+    seg.pref.reserve(seg.pairs.size());
+    seg.sig2f.reserve(seg.pairs.size());
+    seg.pref_f.reserve(seg.pairs.size());
+    for (const auto [a, b] : seg.pairs) {
+      const double sigma = radius[a] + radius[b];
+      const double pref = coulomb_pref * q[a] * q[b];
+      seg.pi.push_back(a);
+      seg.pj.push_back(b);
+      seg.sigma.push_back(sigma);
+      seg.pref.push_back(pref);
+      seg.sig2f.push_back(static_cast<float>(sigma * sigma));
+      seg.pref_f.push_back(static_cast<float>(pref));
+    }
+  }
 }
 
 double NonbondedKernel::evaluate_slice(const KernelContext& ctx, std::size_t slice,
@@ -205,9 +307,6 @@ double NonbondedKernel::evaluate_slice(const KernelContext& ctx, std::size_t sli
   if (seg.pairs.empty()) return 0.0;
   acc.note_range(seg.lo, seg.hi);
 
-  const auto xs = ctx.state->positions();
-  const auto q = ctx.state->charge();
-  const auto radius = ctx.state->sigma();
   const NonbondedParams& params = *ctx.nonbonded;
 
   // Hoisted constants: the seed inner loop re-derived the DH cutoff shift
@@ -218,6 +317,23 @@ double NonbondedKernel::evaluate_slice(const KernelContext& ctx, std::size_t sli
   const double coulomb_pref = units::kCoulomb / params.dielectric;
   const double shift_per_pref = std::exp(-params.cutoff * inv_lambda) / params.cutoff;
   const double wca_lift = std::cbrt(2.0);  // (2^{1/6} σ)² = 2^{1/3} σ²
+
+  if (ctx.simd != simd::Level::Scalar) {
+    const simd::PairBatch batch{
+        ctx.state->x().data(), ctx.state->y().data(), ctx.state->z().data(),
+        xyzw_.data(),
+        seg.pi.data(),         seg.pj.data(),
+        seg.sigma.data(),      seg.pref.data(),
+        seg.sig2f.data(),      seg.pref_f.data(),
+        seg.pairs.size()};
+    const simd::NonbondedConsts consts{cutoff2, epsilon, inv_lambda, shift_per_pref,
+                                       wca_lift};
+    return simd::nonbonded_kernel(ctx.simd)(batch, consts, acc.span().data());
+  }
+
+  const auto xs = ctx.state->positions();
+  const auto q = ctx.state->charge();
+  const auto radius = ctx.state->sigma();
 
   double energy = 0.0;
   for (const auto [i, j] : seg.pairs) {

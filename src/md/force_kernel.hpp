@@ -34,6 +34,7 @@
 #include "common/vec3.hpp"
 #include "md/forcefield.hpp"
 #include "md/neighbor_list.hpp"
+#include "md/simd.hpp"
 
 namespace spice {
 class ThreadPool;
@@ -56,6 +57,10 @@ struct KernelContext {
   const NeighborList* neighbors = nullptr;
   double time = 0.0;
   std::size_t slice_count = 1;  ///< slices this evaluation will be split into
+  /// SIMD level the engine resolved at construction. Level::Scalar runs the
+  /// historical loops verbatim (the bit-exact golden path); vector levels
+  /// run the packed batch kernels from md/simd.hpp.
+  simd::Level simd = simd::Level::Scalar;
 };
 
 /// One slice's private force buffer with touched-window bookkeeping.
@@ -149,13 +154,27 @@ class ForceKernel {
 
 // --- built-in kernels ----------------------------------------------------
 
-/// Harmonic bonds, sliced over the bond array.
+/// Harmonic bonds, sliced over the bond array. Under a vector SIMD level
+/// the (immutable) bond table is packed once into SoA index/parameter
+/// streams with per-slice touched-particle windows; the scalar level keeps
+/// the original AoS loop untouched.
 class BondKernel final : public ForceKernel {
  public:
   [[nodiscard]] std::string_view name() const override { return "bond"; }
   [[nodiscard]] EnergyTerm term() const override { return EnergyTerm::Bond; }
+  void begin_evaluation(const KernelContext& ctx) override;
   double evaluate_slice(const KernelContext& ctx, std::size_t slice, std::size_t slice_count,
                         ForceAccumulator& acc) override;
+
+ private:
+  struct PackedBonds {
+    std::vector<std::uint32_t> i, j;
+    std::vector<double> k, r0;
+    std::vector<std::size_t> lo, hi;  ///< per-slice touched particle windows
+    std::size_t slice_count = 0;
+    bool built = false;
+  };
+  PackedBonds packed_;
 };
 
 /// Harmonic angles, sliced over the angle array.
@@ -195,6 +214,13 @@ class NonbondedKernel final : public ForceKernel {
  private:
   struct SliceSegment {
     std::vector<NeighborPair> pairs;
+    // Packed per-pair streams for the vector kernels (filled only when the
+    // engine dispatches a non-scalar level): pair indices plus the derived
+    // sigma_i+sigma_j and Coulomb prefactor, so the hot loop never chases
+    // the per-particle parameter columns twice per pair.
+    std::vector<std::uint32_t> pi, pj;
+    std::vector<double> sigma, pref;
+    std::vector<float> sig2f, pref_f;  // mixed-precision kernel streams
     std::size_t lo = 0;          ///< touched particle window
     std::size_t hi = 0;
     std::uint64_t epoch = ~0ULL; ///< neighbour-list build this derives from
@@ -202,6 +228,9 @@ class NonbondedKernel final : public ForceKernel {
   void refresh_segment(const KernelContext& ctx, std::size_t slice, std::size_t slice_count);
 
   std::vector<SliceSegment> segments_;
+  /// (x,y,z,0)-packed position mirror for the vector kernels, refreshed
+  /// every evaluation in begin_evaluation (serial). Empty under Scalar.
+  std::vector<double> xyzw_;
 };
 
 }  // namespace spice::md

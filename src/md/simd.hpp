@@ -1,0 +1,138 @@
+#pragma once
+// Runtime-dispatched SIMD kernels for the MD hot loops.
+//
+// The nonbonded (WCA + Debye–Hückel) and bond inner loops account for
+// nearly all of a force evaluation on the production pore system. This
+// module provides batched implementations of both — an AVX2 path (4-wide
+// doubles, FMA, vectorized exp) on x86-64, a NEON path (2-wide) on
+// aarch64, and a scalar fallback whose floating-point operation sequence
+// is IDENTICAL to the pre-SIMD loops, so forcing Level::Scalar reproduces
+// historical trajectories bit-for-bit.
+//
+// Dispatch policy: the level is chosen ONCE per process (active()), from
+// CPU feature detection, overridable with SPICE_SIMD=scalar|avx2|neon|
+// native for CI matrices and debugging. Engines may also pin a level per
+// instance via MdConfig::simd (Request::Scalar keeps goldens bit-exact
+// regardless of the host CPU).
+//
+// Determinism: every kernel's iteration order, lane assignment and
+// reduction order are pure functions of the batch — never of thread count
+// — so SIMD trajectories are still bit-identical across thread counts;
+// they differ from scalar trajectories only in last-bit rounding (the
+// vectorized exp and the 4-lane energy accumulator round differently).
+// The testkit tolerance ladder pins scalar↔SIMD agreement to norm bounds.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/vec3.hpp"
+
+namespace spice::md::simd {
+
+/// An implementation tier. Scalar is always available; the vector tiers
+/// exist only on their ISA (supported() reports availability at runtime).
+enum class Level { Scalar, AVX2, NEON };
+
+/// What an engine asks for: Auto defers to the process-wide active()
+/// level; the rest pin a specific tier (construction fails if the host
+/// does not support it).
+enum class Request { Auto, Scalar, AVX2, NEON };
+
+[[nodiscard]] std::string_view name(Level level);
+
+/// True when this CPU can execute `level`.
+[[nodiscard]] bool supported(Level level);
+
+/// Best level this CPU supports (ignores the environment override).
+[[nodiscard]] Level detect();
+
+/// Process-wide dispatch level, resolved once on first use:
+/// SPICE_SIMD=scalar|avx2|neon|native when set (invalid values or an
+/// unsupported forced tier are an error), otherwise detect().
+[[nodiscard]] Level active();
+
+/// Map an engine's request onto a concrete level. Auto → active();
+/// anything else must be supported() (enforced).
+[[nodiscard]] Level resolve(Request request);
+
+// --- batched kernels -----------------------------------------------------
+// Positions are SoA columns indexed by absolute particle id; per-pair /
+// per-bond parameters are packed dense so the inner loop streams them.
+// Forces accumulate into an absolute-indexed Vec3 buffer (a slice-private
+// ForceAccumulator span); the return value is the batch potential energy.
+
+/// One slice's nonbonded pair segment in packed form.
+struct PairBatch {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const double* z = nullptr;
+  /// Positions packed (x,y,z,0) with stride 4, refreshed once per
+  /// evaluation in the serial phase. The AVX2 kernel reads a pair's
+  /// displacement with two 32-byte loads and a subtract instead of six
+  /// gathers; x/y/z above serve the scalar tail and the NEON path.
+  const double* xyzw = nullptr;
+  const std::uint32_t* i = nullptr;  ///< pair first endpoints
+  const std::uint32_t* j = nullptr;  ///< pair second endpoints
+  const double* sigma = nullptr;     ///< per-pair WCA diameter σᵢ+σⱼ
+  const double* pref = nullptr;      ///< per-pair (k_C/ε_r)·qᵢ·qⱼ
+  /// Single-precision mirrors for the mixed-precision x86 kernel: (σᵢ+σⱼ)²
+  /// and the Coulomb prefactor, packed once at neighbour-list rebuild.
+  const float* sig2f = nullptr;
+  const float* pref_f = nullptr;
+  std::size_t count = 0;
+};
+
+/// Hoisted per-evaluation constants of the WCA + Debye–Hückel pair term
+/// (same values the scalar kernel hoists).
+struct NonbondedConsts {
+  double cutoff2 = 0.0;         ///< r_c²
+  double epsilon = 0.0;         ///< WCA ε
+  double inv_lambda = 0.0;      ///< 1/λ_D
+  double shift_per_pref = 0.0;  ///< e^{−r_c/λ}/r_c (DH cutoff shift / pref)
+  double wca_lift = 0.0;        ///< 2^{1/3}: (2^{1/6}σ)² = wca_lift·σ²
+};
+
+/// One slice's harmonic-bond share in packed form.
+struct BondBatch {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const double* z = nullptr;
+  const std::uint32_t* i = nullptr;
+  const std::uint32_t* j = nullptr;
+  const double* k = nullptr;   ///< spring constants
+  const double* r0 = nullptr;  ///< rest lengths
+  std::size_t count = 0;
+};
+
+using NonbondedFn = double (*)(const PairBatch&, const NonbondedConsts&, Vec3* acc);
+using BondFn = double (*)(const BondBatch&, Vec3* acc);
+
+/// Kernel entry points for `level` (must be supported()).
+[[nodiscard]] NonbondedFn nonbonded_kernel(Level level);
+[[nodiscard]] BondFn bond_kernel(Level level);
+
+namespace detail {
+// Per-tier implementations. The vector TUs are compiled with their ISA
+// flags; on foreign architectures they compile to aborting stubs that the
+// dispatch tables never hand out (supported() gates them).
+double nonbonded_scalar(const PairBatch& batch, const NonbondedConsts& c, Vec3* acc);
+double bond_scalar(const BondBatch& batch, Vec3* acc);
+/// Scalar sub-range [begin, end): the vector kernels run this on their
+/// remainder lanes so tails use the exact scalar operation sequence.
+double nonbonded_scalar_range(const PairBatch& batch, const NonbondedConsts& c, Vec3* acc,
+                              std::size_t begin, std::size_t end);
+double bond_scalar_range(const BondBatch& batch, Vec3* acc, std::size_t begin,
+                         std::size_t end);
+double nonbonded_avx2(const PairBatch& batch, const NonbondedConsts& c, Vec3* acc);
+double bond_avx2(const BondBatch& batch, Vec3* acc);
+double nonbonded_neon(const PairBatch& batch, const NonbondedConsts& c, Vec3* acc);
+double bond_neon(const BondBatch& batch, Vec3* acc);
+/// Vectorized exp(x) test hook: out[k] = exp_level(in[k]). For the
+/// accuracy regression in tests; Scalar maps to std::exp.
+void exp_lanes(Level level, const double* in, double* out, std::size_t count);
+void exp_lanes_avx2(const double* in, double* out, std::size_t count);
+void exp_lanes_neon(const double* in, double* out, std::size_t count);
+}  // namespace detail
+
+}  // namespace spice::md::simd

@@ -1,0 +1,53 @@
+#pragma once
+// Shared dynamic-state slab for batched replicas.
+//
+// An EnsembleEngine steps N replicas of one topology; their dynamic
+// columns (x, y, z, vx … fz) live in ONE contiguous allocation laid out
+// replica-major: column c of replica r occupies
+//
+//   slab[(c·R + r)·n … (c·R + r + 1)·n)
+//
+// so each replica sees dense, SIMD-friendly per-column runs of length n
+// (exactly what a standalone SystemState provides) while the whole
+// ensemble stays one cache-warm block with zero per-replica allocations.
+// A standalone SystemState is simply the R = 1 special case — every
+// engine, batched or not, runs the same arena-backed code path.
+//
+// The arena holds no locking: replicas touch disjoint sub-ranges, and the
+// EnsembleEngine's parallel stepping assigns each replica to exactly one
+// worker at a time.
+
+#include <cstddef>
+#include <vector>
+
+namespace spice::md {
+
+class StateArena {
+ public:
+  /// Column ids of the nine dynamic per-particle arrays.
+  enum Column : std::size_t { kX = 0, kY, kZ, kVx, kVy, kVz, kFx, kFy, kFz, kColumns };
+
+  /// Zero-initialized slab for `replicas` replicas of `particles` each.
+  StateArena(std::size_t particles, std::size_t replicas)
+      : particles_(particles),
+        replicas_(replicas),
+        slab_(kColumns * particles * replicas, 0.0) {}
+
+  [[nodiscard]] std::size_t particles() const { return particles_; }
+  [[nodiscard]] std::size_t replicas() const { return replicas_; }
+
+  /// Base of column `c` for replica `r` (a run of particles() doubles).
+  [[nodiscard]] double* column(std::size_t c, std::size_t r) {
+    return slab_.data() + (c * replicas_ + r) * particles_;
+  }
+  [[nodiscard]] const double* column(std::size_t c, std::size_t r) const {
+    return slab_.data() + (c * replicas_ + r) * particles_;
+  }
+
+ private:
+  std::size_t particles_;
+  std::size_t replicas_;
+  std::vector<double> slab_;
+};
+
+}  // namespace spice::md

@@ -1,22 +1,29 @@
 #include "md/system_state.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "md/topology.hpp"
 
 namespace spice::md {
 
 void SystemState::reset(const Topology& topology) {
+  reset(topology, std::make_shared<StateArena>(topology.particle_count(), 1), 0);
+}
+
+void SystemState::reset(const Topology& topology, std::shared_ptr<StateArena> arena,
+                        std::size_t replica) {
+  SPICE_REQUIRE(arena != nullptr, "SystemState needs an arena");
+  SPICE_REQUIRE(arena->particles() == topology.particle_count(),
+                "arena particle count does not match topology");
+  SPICE_REQUIRE(replica < arena->replicas(), "replica slot out of arena range");
   n_ = topology.particle_count();
-  auto zero = [this](std::vector<double>& v) { v.assign(n_, 0.0); };
-  zero(x_);
-  zero(y_);
-  zero(z_);
-  zero(vx_);
-  zero(vy_);
-  zero(vz_);
-  zero(fx_);
-  zero(fy_);
-  zero(fz_);
+  arena_ = std::move(arena);
+  replica_ = replica;
+  for (std::size_t c = 0; c < StateArena::kColumns; ++c) {
+    auto span = col(c);
+    std::fill(span.begin(), span.end(), 0.0);
+  }
   charge_.clear();
   sigma_.clear();
   mass_.clear();
@@ -37,8 +44,8 @@ void SystemState::reset(const Topology& topology) {
   positions_synced_ = velocities_synced_ = forces_synced_ = true;
 }
 
-void SystemState::scatter(std::span<const Vec3> src, std::vector<double>& x,
-                          std::vector<double>& y, std::vector<double>& z) {
+void SystemState::scatter(std::span<const Vec3> src, std::span<double> x,
+                          std::span<double> y, std::span<double> z) {
   for (std::size_t i = 0; i < src.size(); ++i) {
     x[i] = src[i].x;
     y[i] = src[i].y;
@@ -53,7 +60,7 @@ void SystemState::gather(std::span<const double> x, std::span<const double> y,
 
 std::span<const Vec3> SystemState::positions() const {
   if (!positions_synced_) {
-    gather(x_, y_, z_, positions_aos_);
+    gather(x(), y(), z(), positions_aos_);
     positions_synced_ = true;
   }
   return positions_aos_;
@@ -61,7 +68,7 @@ std::span<const Vec3> SystemState::positions() const {
 
 std::span<const Vec3> SystemState::velocities() const {
   if (!velocities_synced_) {
-    gather(vx_, vy_, vz_, velocities_aos_);
+    gather(vx(), vy(), vz(), velocities_aos_);
     velocities_synced_ = true;
   }
   return velocities_aos_;
@@ -69,7 +76,7 @@ std::span<const Vec3> SystemState::velocities() const {
 
 std::span<const Vec3> SystemState::forces() const {
   if (!forces_synced_) {
-    gather(fx_, fy_, fz_, forces_aos_);
+    gather(fx(), fy(), fz(), forces_aos_);
     forces_synced_ = true;
   }
   return forces_aos_;
@@ -77,21 +84,21 @@ std::span<const Vec3> SystemState::forces() const {
 
 void SystemState::set_positions(std::span<const Vec3> xs) {
   SPICE_REQUIRE(xs.size() == n_, "position count mismatch");
-  scatter(xs, x_, y_, z_);
+  scatter(xs, col(StateArena::kX), col(StateArena::kY), col(StateArena::kZ));
   positions_aos_.assign(xs.begin(), xs.end());
   positions_synced_ = true;
 }
 
 void SystemState::set_velocities(std::span<const Vec3> vs) {
   SPICE_REQUIRE(vs.size() == n_, "velocity count mismatch");
-  scatter(vs, vx_, vy_, vz_);
+  scatter(vs, col(StateArena::kVx), col(StateArena::kVy), col(StateArena::kVz));
   velocities_aos_.assign(vs.begin(), vs.end());
   velocities_synced_ = true;
 }
 
 void SystemState::set_forces(std::span<const Vec3> fs) {
   SPICE_REQUIRE(fs.size() == n_, "force count mismatch");
-  scatter(fs, fx_, fy_, fz_);
+  scatter(fs, col(StateArena::kFx), col(StateArena::kFy), col(StateArena::kFz));
   forces_aos_.assign(fs.begin(), fs.end());
   forces_synced_ = true;
 }

@@ -10,6 +10,14 @@
 // at construction; the Topology stays the source of truth for everything
 // structural (bonds, exclusions, names).
 //
+// Storage: the nine dynamic columns live in a StateArena — a standalone
+// state owns a private single-replica arena; an ensemble replica binds to
+// one slot of a shared replica-major slab (state_arena.hpp), so batched
+// and standalone engines run the identical code path over identical
+// per-column layouts. The cached parameter columns and the AoS mirrors
+// stay per-state (replicas share a topology but may not share mirrors —
+// the lazy sync is per-replica state).
+//
 // Conversion shims: positions()/velocities()/forces() return AoS
 // std::span<const Vec3> views backed by lazily refreshed mirror buffers,
 // so every existing consumer (ForceContribution implementations,
@@ -23,10 +31,12 @@
 // concurrent reads of an already-synced view are safe.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/vec3.hpp"
+#include "md/state_arena.hpp"
 
 namespace spice::md {
 
@@ -37,32 +47,39 @@ class SystemState {
   SystemState() = default;
 
   /// Size the arrays for `topology` and cache its per-particle columns
-  /// (charge, sigma, mass, 1/m). Dynamic arrays are zero-initialized.
+  /// (charge, sigma, mass, 1/m). Dynamic arrays are zero-initialized and
+  /// live in a private single-replica arena.
   void reset(const Topology& topology);
+
+  /// Bind this state to slot `replica` of a shared ensemble arena instead
+  /// of a private one. The slot's columns are zeroed; everything else
+  /// matches reset(topology).
+  void reset(const Topology& topology, std::shared_ptr<StateArena> arena,
+             std::size_t replica);
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
   // --- SoA views (canonical storage) -----------------------------------
   // Mutable spans invalidate the corresponding AoS mirror.
-  [[nodiscard]] std::span<double> x() { positions_synced_ = false; return x_; }
-  [[nodiscard]] std::span<double> y() { positions_synced_ = false; return y_; }
-  [[nodiscard]] std::span<double> z() { positions_synced_ = false; return z_; }
-  [[nodiscard]] std::span<double> vx() { velocities_synced_ = false; return vx_; }
-  [[nodiscard]] std::span<double> vy() { velocities_synced_ = false; return vy_; }
-  [[nodiscard]] std::span<double> vz() { velocities_synced_ = false; return vz_; }
-  [[nodiscard]] std::span<double> fx() { forces_synced_ = false; return fx_; }
-  [[nodiscard]] std::span<double> fy() { forces_synced_ = false; return fy_; }
-  [[nodiscard]] std::span<double> fz() { forces_synced_ = false; return fz_; }
+  [[nodiscard]] std::span<double> x() { positions_synced_ = false; return col(StateArena::kX); }
+  [[nodiscard]] std::span<double> y() { positions_synced_ = false; return col(StateArena::kY); }
+  [[nodiscard]] std::span<double> z() { positions_synced_ = false; return col(StateArena::kZ); }
+  [[nodiscard]] std::span<double> vx() { velocities_synced_ = false; return col(StateArena::kVx); }
+  [[nodiscard]] std::span<double> vy() { velocities_synced_ = false; return col(StateArena::kVy); }
+  [[nodiscard]] std::span<double> vz() { velocities_synced_ = false; return col(StateArena::kVz); }
+  [[nodiscard]] std::span<double> fx() { forces_synced_ = false; return col(StateArena::kFx); }
+  [[nodiscard]] std::span<double> fy() { forces_synced_ = false; return col(StateArena::kFy); }
+  [[nodiscard]] std::span<double> fz() { forces_synced_ = false; return col(StateArena::kFz); }
 
-  [[nodiscard]] std::span<const double> x() const { return x_; }
-  [[nodiscard]] std::span<const double> y() const { return y_; }
-  [[nodiscard]] std::span<const double> z() const { return z_; }
-  [[nodiscard]] std::span<const double> vx() const { return vx_; }
-  [[nodiscard]] std::span<const double> vy() const { return vy_; }
-  [[nodiscard]] std::span<const double> vz() const { return vz_; }
-  [[nodiscard]] std::span<const double> fx() const { return fx_; }
-  [[nodiscard]] std::span<const double> fy() const { return fy_; }
-  [[nodiscard]] std::span<const double> fz() const { return fz_; }
+  [[nodiscard]] std::span<const double> x() const { return col(StateArena::kX); }
+  [[nodiscard]] std::span<const double> y() const { return col(StateArena::kY); }
+  [[nodiscard]] std::span<const double> z() const { return col(StateArena::kZ); }
+  [[nodiscard]] std::span<const double> vx() const { return col(StateArena::kVx); }
+  [[nodiscard]] std::span<const double> vy() const { return col(StateArena::kVy); }
+  [[nodiscard]] std::span<const double> vz() const { return col(StateArena::kVz); }
+  [[nodiscard]] std::span<const double> fx() const { return col(StateArena::kFx); }
+  [[nodiscard]] std::span<const double> fy() const { return col(StateArena::kFy); }
+  [[nodiscard]] std::span<const double> fz() const { return col(StateArena::kFz); }
 
   // --- cached per-particle parameters ----------------------------------
   [[nodiscard]] std::span<const double> charge() const { return charge_; }
@@ -81,15 +98,21 @@ class SystemState {
   void set_forces(std::span<const Vec3> fs);
 
  private:
-  static void scatter(std::span<const Vec3> src, std::vector<double>& x,
-                      std::vector<double>& y, std::vector<double>& z);
+  static void scatter(std::span<const Vec3> src, std::span<double> x,
+                      std::span<double> y, std::span<double> z);
   static void gather(std::span<const double> x, std::span<const double> y,
                      std::span<const double> z, std::vector<Vec3>& out);
 
+  [[nodiscard]] std::span<double> col(std::size_t c) {
+    return {arena_->column(c, replica_), n_};
+  }
+  [[nodiscard]] std::span<const double> col(std::size_t c) const {
+    return {arena_->column(c, replica_), n_};
+  }
+
   std::size_t n_ = 0;
-  std::vector<double> x_, y_, z_;
-  std::vector<double> vx_, vy_, vz_;
-  std::vector<double> fx_, fy_, fz_;
+  std::shared_ptr<StateArena> arena_;
+  std::size_t replica_ = 0;
   std::vector<double> charge_, sigma_, mass_, inv_mass_;
 
   mutable std::vector<Vec3> positions_aos_, velocities_aos_, forces_aos_;

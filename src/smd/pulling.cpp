@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "md/ensemble_engine.hpp"
 #include "md/observables.hpp"
 
 namespace spice::smd {
@@ -144,6 +145,53 @@ PullResult run_pull(spice::md::Engine& engine, ConstantVelocityPull& pull, doubl
   result.pulled_distance = pull.lambda();
   result.steps = total_steps;
   return result;
+}
+
+std::vector<PullResult> run_ensemble_pull(
+    spice::md::EnsembleEngine& ensemble,
+    std::span<const std::shared_ptr<ConstantVelocityPull>> pulls, double distance,
+    std::size_t sample_every) {
+  SPICE_REQUIRE(pulls.size() == ensemble.size(), "one pull per ensemble replica");
+  SPICE_REQUIRE(distance > 0.0, "pull distance must be positive");
+  SPICE_REQUIRE(sample_every > 0, "sample_every must be positive");
+  const double dt = ensemble.replica(0).config().dt;
+  const double v = pulls[0]->params().velocity_internal();
+  const double hold = pulls[0]->params().hold_ps;
+  for (const auto& pull : pulls) {
+    SPICE_REQUIRE(pull != nullptr && pull->attached(), "run_ensemble_pull needs attached pulls");
+    SPICE_REQUIRE(pull->params().velocity_internal() == v && pull->params().hold_ps == hold,
+                  "ensemble pulls must share one protocol");
+  }
+  const auto total_steps = static_cast<std::uint64_t>(std::ceil((distance / v + hold) / dt));
+
+  std::vector<PullResult> results(pulls.size());
+  auto record = [&](std::size_t r) {
+    const ConstantVelocityPull& pull = *pulls[r];
+    PullSample s;
+    s.time = ensemble.replica(r).time();
+    s.lambda = pull.lambda();
+    s.xi = pull.xi();
+    s.force = pull.spring_force();
+    s.work = pull.work();
+    results[r].samples.push_back(s);
+  };
+  for (std::size_t r = 0; r < pulls.size(); ++r) record(r);  // λ = 0 starting point
+
+  // Step all replicas in lock-step to each sample boundary. This visits
+  // exactly the steps where run_pull records: multiples of sample_every,
+  // plus the final step.
+  std::uint64_t done = 0;
+  while (done < total_steps) {
+    const std::uint64_t next = std::min<std::uint64_t>(total_steps, done + sample_every);
+    ensemble.step_all(next - done);
+    done = next;
+    for (std::size_t r = 0; r < pulls.size(); ++r) record(r);
+  }
+  for (std::size_t r = 0; r < pulls.size(); ++r) {
+    results[r].pulled_distance = pulls[r]->lambda();
+    results[r].steps = total_steps;
+  }
+  return results;
 }
 
 }  // namespace spice::smd

@@ -18,11 +18,17 @@
 // atoms", haptic exploration) is provided by ConstantForcePull.
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/vec3.hpp"
 #include "md/engine.hpp"
 #include "md/force_contribution.hpp"
+
+namespace spice::md {
+class EnsembleEngine;
+}
 
 namespace spice::smd {
 
@@ -139,5 +145,16 @@ struct PullResult {
 /// engine.
 [[nodiscard]] PullResult run_pull(spice::md::Engine& engine, ConstantVelocityPull& pull,
                                   double distance, std::size_t sample_every = 10);
+
+/// Batched variant: drive every replica of `ensemble` through the same
+/// protocol, pulls[r] being replica r's (already attached and registered)
+/// spring. All pulls must share dt/velocity/hold so the replicas stay in
+/// lock-step; the per-replica sample cadence — and, because each ensemble
+/// replica is bit-identical to a standalone clone, the samples themselves —
+/// match run_pull on N independent engines exactly.
+[[nodiscard]] std::vector<PullResult> run_ensemble_pull(
+    spice::md::EnsembleEngine& ensemble,
+    std::span<const std::shared_ptr<ConstantVelocityPull>> pulls, double distance,
+    std::size_t sample_every = 10);
 
 }  // namespace spice::smd

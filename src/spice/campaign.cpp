@@ -10,6 +10,7 @@
 #include "obs/obs.hpp"
 #include "fe/pmf.hpp"
 #include "fe/wham.hpp"
+#include "md/ensemble_engine.hpp"
 #include "md/observables.hpp"
 #include "smd/restraint.hpp"
 
@@ -57,6 +58,41 @@ spice::smd::PullResult run_single_pull(const spice::pore::TranslocationSystem& m
   pulls.add(1);
   return spice::smd::run_pull(engine, *pull, config.pull_distance, config.sample_every);
 }
+
+namespace {
+
+/// One batched wave of replicas: an EnsembleEngine stepping all of them
+/// through run_ensemble_pull. Replica r's trajectory is bit-identical to
+/// run_single_pull(master, config, κ, v, seeds[r]) — the ensemble changes
+/// the execution schedule, never the physics.
+std::vector<spice::smd::PullResult> run_pull_wave(
+    const spice::pore::TranslocationSystem& master, const SweepConfig& config,
+    double kappa_pn, double velocity_ns, std::span<const std::uint64_t> seeds) {
+  spice::md::EnsembleConfig ensemble_config;
+  ensemble_config.threads = master.engine.config().threads;
+  spice::md::EnsembleEngine ensemble(master.engine, seeds, ensemble_config);
+
+  spice::smd::SmdParams params;
+  params.spring_pn_per_angstrom = kappa_pn;
+  params.velocity_angstrom_per_ns = velocity_ns;
+  params.direction = kPullDirection;
+  params.smd_atoms = {kHeadBead};
+
+  static obs::Counter& pull_counter = obs::metrics().counter("campaign.pulls");
+  std::vector<std::shared_ptr<spice::smd::ConstantVelocityPull>> pulls;
+  pulls.reserve(seeds.size());
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    auto pull = std::make_shared<spice::smd::ConstantVelocityPull>(params);
+    pull->attach(ensemble.replica(r));
+    ensemble.add_contribution(r, pull);
+    pulls.push_back(std::move(pull));
+    pull_counter.add(1);
+  }
+  return spice::smd::run_ensemble_pull(ensemble, pulls, config.pull_distance,
+                                       config.sample_every);
+}
+
+}  // namespace
 
 spice::smd::PullResult run_reverse_pull(const spice::pore::TranslocationSystem& master,
                                         const SweepConfig& config, double kappa_pn,
@@ -125,19 +161,50 @@ ComboResult run_combo(const spice::pore::TranslocationSystem& master, const Swee
   static obs::Gauge& ess_gauge = obs::metrics().gauge("campaign.convergence.ess");
   static obs::Counter& early_stops = obs::metrics().counter("campaign.early_stops");
 
-  for (std::size_t r = 0; r < result.samples; ++r) {
-    const std::uint64_t replica_seed =
-        spice::SplitMix64(combo_seed ^ static_cast<std::uint64_t>(r)).next();
-    pulls.push_back(run_single_pull(master, config, kappa_pn, velocity_ns, replica_seed));
-    result.md_steps += pulls.back().steps;
-    const spice::fe::ConvergenceState& state = tracker.add_work(spice::fe::endpoint_work(
-        pulls.back(), config.pull_distance, config.work_source));
-    error_gauge.set(state.jackknife_error);
-    ess_gauge.set(state.ess);
-    if (state.converged && pulls.size() < result.samples) {
-      result.early_stopped = true;
-      early_stops.add(1);
-      break;
+  auto replica_seed_for = [combo_seed](std::size_t r) {
+    return spice::SplitMix64(combo_seed ^ static_cast<std::uint64_t>(r)).next();
+  };
+
+  if (conv_config.target_error_kcal <= 0.0) {
+    // Early stop disarmed: every replica runs to completion, so batch them
+    // through the ensemble engine in waves. Trajectories (and therefore
+    // works, PMFs, sample counts) are bit-identical to the serial loop —
+    // only the execution schedule changes. The wave cap bounds the arena
+    // slab and per-replica engine memory for million-sample campaigns.
+    constexpr std::size_t kMaxWave = 64;
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t base = 0; base < result.samples; base += kMaxWave) {
+      const std::size_t count = std::min(kMaxWave, result.samples - base);
+      seeds.clear();
+      for (std::size_t r = base; r < base + count; ++r) seeds.push_back(replica_seed_for(r));
+      std::vector<spice::smd::PullResult> wave =
+          run_pull_wave(master, config, kappa_pn, velocity_ns, seeds);
+      const std::vector<double> works =
+          spice::fe::endpoint_works(wave, config.pull_distance, config.work_source);
+      for (std::size_t w = 0; w < wave.size(); ++w) {
+        result.md_steps += wave[w].steps;
+        const spice::fe::ConvergenceState& state = tracker.add_work(works[w]);
+        error_gauge.set(state.jackknife_error);
+        ess_gauge.set(state.ess);
+        pulls.push_back(std::move(wave[w]));
+      }
+    }
+  } else {
+    // Early stop armed: the stop decision depends on each pull's work, so
+    // replicas must complete one at a time — keep the serial loop exactly.
+    for (std::size_t r = 0; r < result.samples; ++r) {
+      pulls.push_back(
+          run_single_pull(master, config, kappa_pn, velocity_ns, replica_seed_for(r)));
+      result.md_steps += pulls.back().steps;
+      const spice::fe::ConvergenceState& state = tracker.add_work(spice::fe::endpoint_work(
+          pulls.back(), config.pull_distance, config.work_source));
+      error_gauge.set(state.jackknife_error);
+      ess_gauge.set(state.ess);
+      if (state.converged && pulls.size() < result.samples) {
+        result.early_stopped = true;
+        early_stops.add(1);
+        break;
+      }
     }
   }
   result.samples = pulls.size();

@@ -58,6 +58,8 @@ void fingerprint_checkpoint(const md::Engine& engine, GoldenRecord& record) {
 GoldenRecord golden_chain24(const MdRunConfig& run, md::IntegratorKind integrator) {
   MdRunConfig fixed = run;
   fixed.seed = 77;
+  // Committed hashes are scalar-path: host SIMD must not drift them.
+  fixed.simd = md::simd::Request::Scalar;
   fixed.integrator = integrator;
   md::Engine engine = make_bead_chain(fixed);
   engine.step(400);
@@ -72,6 +74,7 @@ GoldenRecord golden_chain24(const MdRunConfig& run, md::IntegratorKind integrato
 GoldenRecord golden_harmonic_pull(const MdRunConfig& run) {
   MdRunConfig fixed = run;
   fixed.seed = 1700;
+  fixed.simd = md::simd::Request::Scalar;
   HarmonicPull system = make_harmonic_pull(fixed);
   const double work = run_harmonic_pull_work(system);
   GoldenRecord record;
@@ -88,6 +91,7 @@ GoldenRecord golden_harmonic_pull(const MdRunConfig& run) {
 GoldenRecord golden_pore_chain(const MdRunConfig& run) {
   MdRunConfig fixed = run;
   fixed.seed = 4242;
+  fixed.simd = md::simd::Request::Scalar;
   pore::TranslocationSystem system = make_pore_chain(fixed);
   system.engine.step(300);
   GoldenRecord record;

@@ -34,6 +34,7 @@ md::Engine make_bead_chain(const MdRunConfig& run, double dt) {
   cfg.seed = run.seed;
   cfg.force_path = run.force_path;
   cfg.integrator = run.integrator;
+  cfg.simd = run.simd;
   Engine engine(std::move(topo), NonbondedParams{}, cfg);
   std::vector<Vec3> xs(kBeads);
   for (int i = 0; i < kBeads; ++i) {
@@ -61,6 +62,7 @@ md::Engine make_nve_chain(const MdRunConfig& run, double dt) {
   cfg.seed = run.seed;
   cfg.force_path = run.force_path;
   cfg.integrator = run.integrator;
+  cfg.simd = run.simd;
   Engine engine(std::move(topo), NonbondedParams{}, cfg);
   // Planar zig-zag at the angle rest geometry (cos θ₀ = (s²−h²)/r₀²),
   // with a small y twist so no symmetry plane survives.
@@ -110,6 +112,7 @@ Engine make_array_engine(const MdRunConfig& run, const WellArraySpec& spec) {
   cfg.seed = run.seed;
   cfg.force_path = run.force_path;
   cfg.integrator = run.integrator;
+  cfg.simd = run.simd;
   Engine engine(std::move(topo), NonbondedParams{}, cfg);
   engine.set_positions(lattice_sites(spec.particles, spec.spacing));
   engine.initialize_velocities(spec.temperature);
@@ -154,6 +157,7 @@ HarmonicPull make_harmonic_pull(const MdRunConfig& run, const HarmonicPullSpec& 
   cfg.seed = run.seed;
   cfg.force_path = run.force_path;
   cfg.integrator = run.integrator;
+  cfg.simd = run.simd;
   Engine engine(std::move(topo), NonbondedParams{}, cfg);
   engine.set_positions(std::vector<Vec3>{{0, 0, 0}});
   engine.initialize_velocities(spec.temperature);
@@ -202,6 +206,7 @@ pore::TranslocationSystem make_pore_chain(const MdRunConfig& run) {
   config.md.seed = run.seed;
   config.md.force_path = run.force_path;
   config.md.integrator = run.integrator;
+  config.md.simd = run.simd;
   config.equilibration_steps = 0;
   return pore::build_translocation_system(config);
 }

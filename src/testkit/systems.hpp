@@ -23,6 +23,9 @@ struct MdRunConfig {
   std::size_t threads = 1;
   md::ForcePath force_path = md::ForcePath::Kernels;
   md::IntegratorKind integrator = md::IntegratorKind::Langevin;
+  /// SIMD dispatch. Auto follows the process-wide level; golden functions
+  /// pin Scalar so committed hashes stay host-independent.
+  md::simd::Request simd = md::simd::Request::Auto;
 };
 
 /// The 24-bead charged helix from the determinism suite: long enough to

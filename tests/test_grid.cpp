@@ -96,6 +96,42 @@ TEST(EventQueue, FifoAcrossManyEqualTimeEvents) {
   EXPECT_EQ(q.processed(), 4000u);
 }
 
+TEST(EventQueue, AllSameTimestampSurvivesResizeStress) {
+  // Every event at ONE timestamp far from the epoch origin: width sampling
+  // sees only zero gaps, and the occupancy-triggered resizes re-bucket an
+  // equal-timestamp set repeatedly. The magnitude-relative fallback width
+  // must keep the cluster addressable (the old fixed 1.0-width fallback
+  // mapped the whole set into overflow on every resize), and the
+  // (time, seq) tie-break must keep exact FIFO order throughout.
+  constexpr double kWhen = 1.0e9;
+  constexpr int kEvents = 5000;  // >> kMinBuckets·4 ⇒ several grow resizes
+  EventQueue q(EventQueue::Backend::Calendar);
+  std::vector<int> order;
+  order.reserve(kEvents);
+  std::vector<EventToken> tokens;
+  tokens.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    tokens.push_back(q.at(kWhen, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel a scattered subset so stale entries ride through the resizes.
+  for (int i = 0; i < kEvents; i += 7) EXPECT_TRUE(q.cancel(tokens[i]));
+  q.run();
+  std::vector<int> expected;
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 7 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+  EXPECT_DOUBLE_EQ(q.now(), kWhen);
+
+  // The queue must stay serviceable at the far epoch: same-timestamp and
+  // slightly-later follow-ups land and fire in order.
+  std::vector<int> tail;
+  q.at(kWhen, [&tail] { tail.push_back(0); });
+  q.at(kWhen + 1e-3, [&tail] { tail.push_back(1); });
+  q.run();
+  EXPECT_EQ(tail, (std::vector<int>{0, 1}));
+}
+
 TEST(EventQueue, RunUntilFiresEventExactlyAtBoundary) {
   EventQueue q;
   std::vector<double> fired;
