@@ -1,0 +1,316 @@
+// Multi-tenant steering hub at scale — 10k concurrent IMD clients on one
+// simulation (DESIGN.md §12, EXPERIMENTS.md E20).
+//
+// Arms:
+//   baseline    — the same session with ZERO clients: what the sim loop
+//                 costs when nobody is watching (ideal + ring publishes).
+//   hub_10k     — 10k clients across three QoS tiers (lightpath /
+//                 production internet / congested+dead). Gates: sim
+//                 step-rate degradation vs baseline ≤ 5%, peak ring
+//                 occupancy ≤ capacity, and a same-seed repeat run must
+//                 reproduce the session log and stats bit-identically.
+//   naive_100   — the no-broker counterfactual at only 100 clients: the
+//                 sim thread sends full frames to every client and blocks
+//                 on each flow-control window (single-client IMD semantics
+//                 × N) — the regime the hub exists to escape.
+//   real_engine — a small session driving a live MD engine at 1 and 8
+//                 threads: session log and final checkpoint digests must
+//                 be bit-identical (thread-count-invariant steering).
+//
+// Writes BENCH_steering_hub.json (CWD). `--smoke` scales the main arm to
+// 1k clients — the CI configuration.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hub/harness.hpp"
+#include "net/qos.hpp"
+#include "obs/obs.hpp"
+#include "pore/system.hpp"
+#include "steering/session_log.hpp"
+#include "steering/steerable.hpp"
+#include "testkit/golden.hpp"
+
+using namespace spice;
+using namespace spice::hub;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2005;
+
+double wall_now() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return std::chrono::duration<double>(clock::now() - anchor).count();
+}
+
+HarnessConfig base_config() {
+  HarnessConfig config;
+  config.seed = kSeed;
+  config.total_steps = 2000;
+  config.steps_per_frame = 10;   // a frame every 0.5 virtual seconds
+  config.seconds_per_step = 0.05;
+  config.frame_full_bytes = 1e5; // ~8k atoms × 12 bytes, quantized
+  config.hub.ring_capacity = 64;
+  config.hub.arbitration = ArbitrationMode::TokenHolder;
+  return config;
+}
+
+HarnessConfig mixed_tier_config(std::size_t clients) {
+  HarnessConfig config = base_config();
+
+  // 60% on the dedicated lightpath, 30% on the production internet, 10%
+  // on a congested path where a third of the viewers have crashed.
+  TierSpec lightpath;
+  lightpath.name = "lightpath";
+  lightpath.qos = net::lightpath_transatlantic();
+  lightpath.clients = clients * 6 / 10;
+  lightpath.render_seconds = 0.01;
+  lightpath.steer_fraction = 0.02;
+  lightpath.steer_period_s = 5.0;
+
+  TierSpec internet;
+  internet.name = "internet";
+  internet.qos = net::production_internet_transatlantic();
+  internet.clients = clients * 3 / 10;
+  internet.render_seconds = 0.03;
+  internet.steer_fraction = 0.01;
+  internet.steer_period_s = 10.0;
+  internet.sub.lag_budget_frames = 8;
+
+  TierSpec degraded;
+  degraded.name = "degraded";
+  degraded.qos = net::congested_internet();
+  degraded.clients = clients - lightpath.clients - internet.clients;
+  degraded.render_seconds = 0.05;
+  degraded.dead_fraction = 0.3;
+  degraded.sub.lag_budget_frames = 4;
+
+  config.tiers = {lightpath, internet, degraded};
+  return config;
+}
+
+struct HubArm {
+  HubRunMetrics metrics;
+  std::uint64_t log_digest = 0;
+  double bench_wall_s = 0.0;
+};
+
+HubArm run_hub_arm(const HarnessConfig& config) {
+  steering::SessionLog log;
+  HubArm arm;
+  const double t0 = wall_now();
+  arm.metrics = HubHarness(config, nullptr, &log).run();
+  arm.bench_wall_s = wall_now() - t0;
+  arm.log_digest = testkit::fnv1a64(arm.metrics.session_log_bytes);
+  return arm;
+}
+
+steering::SteerableSimulation make_sim(std::uint64_t seed, std::size_t threads) {
+  spice::pore::TranslocationConfig config;
+  config.dna.nucleotides = 6;
+  config.equilibration_steps = 200;
+  config.md.seed = seed;
+  config.md.threads = threads;
+  auto system = spice::pore::build_translocation_system(config);
+  return steering::SteerableSimulation(std::move(system.engine),
+                                       {system.dna_selection.front()});
+}
+
+std::pair<std::uint64_t, std::uint64_t> run_real_arm(std::size_t threads) {
+  HarnessConfig config = base_config();
+  config.total_steps = 200;
+  TierSpec tier;
+  tier.name = "real";
+  tier.qos = net::lightpath_transatlantic();
+  tier.clients = 6;
+  tier.render_seconds = 0.01;
+  tier.steer_fraction = 0.5;
+  tier.steer_period_s = 1.0;
+  config.tiers = {tier};
+
+  steering::SteerableSimulation sim = make_sim(7, threads);
+  steering::SessionLog log;
+  HubHarness(config, &sim, &log).run();
+  return {testkit::fnv1a64(log.serialize()),
+          testkit::fnv1a64(sim.engine().checkpoint().bytes)};
+}
+
+void write_histogram(std::ofstream& json, const obs::HistogramSample& h,
+                     const char* indent) {
+  json << indent << "{\"name\": \"" << h.name << "\", \"count\": " << h.count
+       << ", \"mean\": " << h.mean() << ", \"bounds\": [";
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    json << (i ? ", " : "") << h.bounds[i];
+  }
+  json << "], \"counts\": [";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    json << (i ? ", " : "") << h.counts[i];
+  }
+  json << "]}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::size_t clients = smoke ? 1000 : 10000;
+  obs::set_metrics_enabled(true);
+
+  std::printf("steering_hub: multi-tenant broker at %zu clients%s\n\n", clients,
+              smoke ? " (smoke)" : "");
+
+  // --- baseline: zero clients ------------------------------------------------
+  HarnessConfig zero = base_config();
+  const HubArm baseline = run_hub_arm(zero);
+  std::printf("baseline (0 clients):   sim %.2f virtual s over %llu frames (%.2fs bench)\n",
+              baseline.metrics.sim_elapsed_s,
+              static_cast<unsigned long long>(baseline.metrics.frames_published),
+              baseline.bench_wall_s);
+
+  // --- main arm: mixed QoS tiers --------------------------------------------
+  const HarnessConfig mixed = mixed_tier_config(clients);
+  const HubArm hub_run = run_hub_arm(mixed);
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();  // before repeat
+  const HubArm repeat = run_hub_arm(mixed);
+
+  const double degradation =
+      (hub_run.metrics.sim_elapsed_s - baseline.metrics.sim_elapsed_s) /
+      baseline.metrics.sim_elapsed_s;
+  const bool deterministic =
+      hub_run.log_digest == repeat.log_digest &&
+      hub_run.metrics.hub.updates_sent == repeat.metrics.hub.updates_sent &&
+      hub_run.metrics.hub.bytes_sent == repeat.metrics.hub.bytes_sent &&
+      hub_run.metrics.elapsed_s == repeat.metrics.elapsed_s;
+
+  std::printf("hub (%zu clients):     sim %.2f virtual s, session drained at %.1f s (%.2fs bench)\n",
+              clients, hub_run.metrics.sim_elapsed_s, hub_run.metrics.elapsed_s,
+              hub_run.bench_wall_s);
+  std::printf("  updates %llu (%llu kf / %llu delta), dropped %llu, resyncs %llu, %.1f MB\n",
+              static_cast<unsigned long long>(hub_run.metrics.hub.updates_sent),
+              static_cast<unsigned long long>(hub_run.metrics.hub.keyframes_sent),
+              static_cast<unsigned long long>(hub_run.metrics.hub.deltas_sent),
+              static_cast<unsigned long long>(hub_run.metrics.hub.frames_dropped),
+              static_cast<unsigned long long>(hub_run.metrics.hub.resyncs),
+              hub_run.metrics.hub.bytes_sent / 1e6);
+  std::printf("  commands accepted %llu / rejected %llu, token grants %llu denials %llu\n",
+              static_cast<unsigned long long>(hub_run.metrics.hub.commands_accepted),
+              static_cast<unsigned long long>(hub_run.metrics.hub.commands_rejected),
+              static_cast<unsigned long long>(hub_run.metrics.hub.token_grants),
+              static_cast<unsigned long long>(hub_run.metrics.hub.token_denials));
+  for (const auto& tier : hub_run.metrics.tiers) {
+    std::printf("  tier %-10s %5zu clients: %7llu acked, rtt %.3fs, max lag %llu, "
+                "dropped %llu, resyncs %llu\n",
+                tier.name.c_str(), tier.clients,
+                static_cast<unsigned long long>(tier.updates_delivered), tier.mean_rtt_s,
+                static_cast<unsigned long long>(tier.max_lag_frames),
+                static_cast<unsigned long long>(tier.frames_dropped),
+                static_cast<unsigned long long>(tier.resyncs));
+  }
+
+  // --- naive direct fan-out contrast -----------------------------------------
+  HarnessConfig naive_cfg = mixed_tier_config(100);
+  naive_cfg.total_steps = 400;  // 40 frames suffice; each one is painful
+  const NaiveFanoutMetrics naive = run_naive_fanout(naive_cfg, /*ack_timeout_s=*/5.0);
+  std::printf("\nnaive fan-out (100 clients, no broker): wall %.1fs vs ideal %.1fs "
+              "(degradation %.0f%%, %llu timeouts)\n",
+              naive.wall_s, naive.ideal_s, 100.0 * naive.degradation(),
+              static_cast<unsigned long long>(naive.frames_timed_out));
+
+  // --- real engine, thread invariance ----------------------------------------
+  const auto [log1, state1] = run_real_arm(1);
+  const auto [log8, state8] = run_real_arm(8);
+  const bool thread_invariant = log1 == log8 && state1 == state8;
+  std::printf("real engine 1 vs 8 threads: log %016llx/%016llx state %016llx/%016llx\n",
+              static_cast<unsigned long long>(log1), static_cast<unsigned long long>(log8),
+              static_cast<unsigned long long>(state1),
+              static_cast<unsigned long long>(state8));
+
+  // --- gates ------------------------------------------------------------------
+  const bool gate_degradation = degradation <= 0.05;
+  const bool gate_ring = hub_run.metrics.peak_ring <= hub_run.metrics.ring_capacity;
+  const bool gate_naive = naive.degradation() > 10.0 * (degradation < 0.0 ? 0.0 : degradation) &&
+                          naive.degradation() > 0.5;
+  std::printf("\ngate: sim degradation %.3f%% <= 5%% ............ %s\n", 100.0 * degradation,
+              gate_degradation ? "PASS" : "FAIL");
+  std::printf("gate: peak ring %zu <= capacity %zu ............ %s\n",
+              hub_run.metrics.peak_ring, hub_run.metrics.ring_capacity,
+              gate_ring ? "PASS" : "FAIL");
+  std::printf("gate: same-seed repeat bit-identical ........... %s\n",
+              deterministic ? "PASS" : "FAIL");
+  std::printf("gate: thread-count-invariant session ........... %s\n",
+              thread_invariant ? "PASS" : "FAIL");
+  std::printf("gate: naive fan-out demonstrably worse ......... %s\n",
+              gate_naive ? "PASS" : "FAIL");
+
+  // --- JSON -------------------------------------------------------------------
+  std::ofstream json("BENCH_steering_hub.json");
+  json << "{\n"
+       << " \"bench\": \"steering_hub\",\n"
+       << " \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << " \"clients\": " << clients << ",\n"
+       << " \"baseline\": {\"sim_elapsed_s\": " << baseline.metrics.sim_elapsed_s
+       << ", \"frames\": " << baseline.metrics.frames_published << "},\n"
+       << " \"hub\": {\n"
+       << "  \"sim_elapsed_s\": " << hub_run.metrics.sim_elapsed_s << ",\n"
+       << "  \"session_elapsed_s\": " << hub_run.metrics.elapsed_s << ",\n"
+       << "  \"degradation\": " << degradation << ",\n"
+       << "  \"peak_ring\": " << hub_run.metrics.peak_ring << ",\n"
+       << "  \"ring_capacity\": " << hub_run.metrics.ring_capacity << ",\n"
+       << "  \"updates_sent\": " << hub_run.metrics.hub.updates_sent << ",\n"
+       << "  \"keyframes_sent\": " << hub_run.metrics.hub.keyframes_sent << ",\n"
+       << "  \"deltas_sent\": " << hub_run.metrics.hub.deltas_sent << ",\n"
+       << "  \"frames_dropped\": " << hub_run.metrics.hub.frames_dropped << ",\n"
+       << "  \"resyncs\": " << hub_run.metrics.hub.resyncs << ",\n"
+       << "  \"bytes_sent\": " << hub_run.metrics.hub.bytes_sent << ",\n"
+       << "  \"commands_accepted\": " << hub_run.metrics.hub.commands_accepted << ",\n"
+       << "  \"commands_rejected\": " << hub_run.metrics.hub.commands_rejected << ",\n"
+       << "  \"worker_busy_s\": " << hub_run.metrics.hub.worker_busy_s << ",\n"
+       << "  \"log_digest\": \"" << std::hex << hub_run.log_digest << std::dec << "\",\n"
+       << "  \"bench_wall_s\": " << hub_run.bench_wall_s << ",\n"
+       << "  \"tiers\": [\n";
+  for (std::size_t i = 0; i < hub_run.metrics.tiers.size(); ++i) {
+    const auto& tier = hub_run.metrics.tiers[i];
+    json << "   {\"name\": \"" << tier.name << "\", \"clients\": " << tier.clients
+         << ", \"updates_delivered\": " << tier.updates_delivered
+         << ", \"mean_rtt_s\": " << tier.mean_rtt_s
+         << ", \"max_lag_frames\": " << tier.max_lag_frames
+         << ", \"frames_dropped\": " << tier.frames_dropped
+         << ", \"resyncs\": " << tier.resyncs << ", \"bytes\": " << tier.bytes << "}"
+         << (i + 1 < hub_run.metrics.tiers.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
+       << "  \"histograms\": [\n";
+  bool first = true;
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("hub.", 0) != 0) continue;
+    if (!first) json << ",\n";
+    first = false;
+    write_histogram(json, h, "   ");
+  }
+  json << "\n  ]\n"
+       << " },\n"
+       << " \"naive_fanout\": {\"clients\": 100, \"wall_s\": " << naive.wall_s
+       << ", \"ideal_s\": " << naive.ideal_s << ", \"stall_s\": " << naive.stall_s
+       << ", \"degradation\": " << naive.degradation()
+       << ", \"frames_timed_out\": " << naive.frames_timed_out << "},\n"
+       << " \"real_engine\": {\"log_digest_t1\": \"" << std::hex << log1
+       << "\", \"log_digest_t8\": \"" << log8 << "\", \"state_digest_t1\": \"" << state1
+       << "\", \"state_digest_t8\": \"" << state8 << std::dec << "\"},\n"
+       << " \"gates\": {\"degradation\": " << (gate_degradation ? "true" : "false")
+       << ", \"peak_ring\": " << (gate_ring ? "true" : "false")
+       << ", \"deterministic\": " << (deterministic ? "true" : "false")
+       << ", \"thread_invariant\": " << (thread_invariant ? "true" : "false")
+       << ", \"naive_contrast\": " << (gate_naive ? "true" : "false") << "}\n"
+       << "}\n";
+  std::printf("\nwrote BENCH_steering_hub.json\n");
+
+  const bool all = gate_degradation && gate_ring && deterministic && thread_invariant &&
+                   gate_naive;
+  return all ? 0 : 1;
+}

@@ -40,6 +40,17 @@ long long delta_in_record(const std::string& line, const std::string& name) {
   return std::stoll(line.substr(pos + key.size()));
 }
 
+// Campaign artifacts (traces, metric exports) land under the build tree —
+// examples/CMakeLists.txt injects SPICE_OUTPUT_DIR — so demo runs never
+// litter the source checkout.
+#ifndef SPICE_OUTPUT_DIR
+#define SPICE_OUTPUT_DIR "."
+#endif
+
+std::string out_path(const char* name) {
+  return std::string(SPICE_OUTPUT_DIR) + "/" + name;
+}
+
 viz::DashboardFrame to_frame(const CampaignProgress& progress) {
   viz::DashboardFrame frame;
   frame.sim_hours = progress.sim_hours;
@@ -75,8 +86,8 @@ int main() {
   // subsystems through the counters they already maintain. The deadline is
   // far beyond any healthy gap, so a clean demo run fires zero alerts.
   obs::ExporterConfig exporter_config;
-  exporter_config.prometheus_path = "federated_campaign_metrics.prom";
-  exporter_config.jsonl_path = "federated_campaign_metrics.jsonl";
+  exporter_config.prometheus_path = out_path("federated_campaign_metrics.prom");
+  exporter_config.jsonl_path = out_path("federated_campaign_metrics.jsonl");
   exporter_config.period_s = 1.0;
   obs::SnapshotExporter exporter(exporter_config);
   exporter.start();
@@ -256,13 +267,13 @@ int main() {
 
   exporter.stop();  // drains the queue + one final exact self-sample
   {
-    std::ifstream prom("federated_campaign_metrics.prom");
+    std::ifstream prom(out_path("federated_campaign_metrics.prom"));
     std::stringstream prom_text;
     prom_text << prom.rdbuf();
     const bool prom_ok = prom_text.str().find("# TYPE campaign_pulls counter") !=
                          std::string::npos;
 
-    std::ifstream jsonl("federated_campaign_metrics.jsonl");
+    std::ifstream jsonl(out_path("federated_campaign_metrics.jsonl"));
     std::string line;
     std::size_t lines = 0;
     std::size_t invalid = 0;
@@ -285,16 +296,17 @@ int main() {
   }
 
   obs::set_process_tracer(nullptr);
-  grid_tracer.save("federated_campaign_trace.json");
-  wall_tracer.save("federated_campaign_wall_trace.json");
+  grid_tracer.save(out_path("federated_campaign_trace.json"));
+  wall_tracer.save(out_path("federated_campaign_wall_trace.json"));
 
   const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();
   std::printf("\n===== OBSERVABILITY =====\n");
-  std::printf("campaign trace: federated_campaign_trace.json (%zu events, "
+  std::printf("campaign trace: %s (%zu events, "
               "virtual clock — load in ui.perfetto.dev)\n",
-              grid_tracer.event_count());
-  std::printf("pipeline trace: federated_campaign_wall_trace.json (%zu events, "
+              out_path("federated_campaign_trace.json").c_str(), grid_tracer.event_count());
+  std::printf("pipeline trace: %s (%zu events, "
               "wall clock, %zu dropped past the cap)\n",
+              out_path("federated_campaign_wall_trace.json").c_str(),
               wall_tracer.event_count(), wall_tracer.dropped_count());
   std::printf("\ncounters and gauges:\n");
   viz::metrics_scalar_table(snapshot).write_pretty(std::cout, 0);

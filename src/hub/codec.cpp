@@ -1,0 +1,196 @@
+#include "hub/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spice::hub {
+
+namespace {
+
+constexpr std::int16_t kEscape = std::numeric_limits<std::int16_t>::min();
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  SPICE_REQUIRE(pos + 8 <= in.size(), "truncated hub update payload");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+  pos += 8;
+  return v;
+}
+void put_32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+}
+std::int32_t get_32(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  SPICE_REQUIRE(pos + 4 <= in.size(), "truncated hub update payload");
+  std::uint32_t u = 0;
+  for (int i = 0; i < 4; ++i) u |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
+  pos += 4;
+  return static_cast<std::int32_t>(u);
+}
+void put_16(std::vector<std::uint8_t>& out, std::int16_t v) {
+  const auto u = static_cast<std::uint16_t>(v);
+  out.push_back(static_cast<std::uint8_t>(u));
+  out.push_back(static_cast<std::uint8_t>(u >> 8));
+}
+std::int16_t get_16(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  SPICE_REQUIRE(pos + 2 <= in.size(), "truncated hub update payload");
+  std::uint16_t u = static_cast<std::uint16_t>(in[pos]) |
+                    static_cast<std::uint16_t>(static_cast<std::uint16_t>(in[pos + 1]) << 8);
+  pos += 2;
+  return static_cast<std::int16_t>(u);
+}
+
+bool fits_i16(std::int64_t v) {
+  return v > kEscape && v <= std::numeric_limits<std::int16_t>::max();
+}
+
+}  // namespace
+
+SnapshotCodec::SnapshotCodec(CodecConfig config) : config_(config) {
+  SPICE_REQUIRE(config_.quantum_A > 0.0, "codec quantum must be positive");
+  SPICE_REQUIRE(config_.header_bytes >= 0.0, "codec header bytes must be non-negative");
+  SPICE_REQUIRE(config_.modeled_delta_fraction > 0.0 && config_.modeled_delta_fraction <= 1.0,
+                "modeled delta fraction must be in (0, 1]");
+}
+
+std::vector<std::int64_t> SnapshotCodec::quantize(const std::vector<Vec3>& positions) const {
+  std::vector<std::int64_t> q;
+  q.reserve(positions.size() * 3);
+  const double inv = 1.0 / config_.quantum_A;
+  for (const Vec3& p : positions) {
+    q.push_back(std::llround(p.x * inv));
+    q.push_back(std::llround(p.y * inv));
+    q.push_back(std::llround(p.z * inv));
+  }
+  return q;
+}
+
+EncodedUpdate SnapshotCodec::encode_keyframe(const FrameSnapshot& frame) const {
+  EncodedUpdate u;
+  u.kind = UpdateKind::Keyframe;
+  u.frame_id = frame.frame_id;
+  u.base_id = kNoFrame;
+  u.sim_step = frame.sim_step;
+  u.sim_time_ps = frame.sim_time_ps;
+  if (frame.positions.empty()) {
+    u.bytes = config_.header_bytes + frame.full_bytes;
+    return u;
+  }
+  const auto q = quantize(frame.positions);
+  u.payload.reserve(16 + q.size() * 4);
+  put_u64(u.payload, frame.frame_id);
+  put_u64(u.payload, frame.positions.size());
+  for (const std::int64_t v : q) {
+    SPICE_REQUIRE(v >= std::numeric_limits<std::int32_t>::min() &&
+                      v <= std::numeric_limits<std::int32_t>::max(),
+                  "coordinate exceeds keyframe quantization range");
+    put_32(u.payload, static_cast<std::int32_t>(v));
+  }
+  u.bytes = config_.header_bytes + static_cast<double>(u.payload.size());
+  return u;
+}
+
+EncodedUpdate SnapshotCodec::encode_delta(const FrameSnapshot& base,
+                                          const FrameSnapshot& target) const {
+  SPICE_REQUIRE(base.frame_id < target.frame_id, "delta base must precede target");
+  EncodedUpdate u;
+  u.kind = UpdateKind::Delta;
+  u.frame_id = target.frame_id;
+  u.base_id = base.frame_id;
+  u.sim_step = target.sim_step;
+  u.sim_time_ps = target.sim_time_ps;
+  if (target.positions.empty() || base.positions.empty()) {
+    const double gap = static_cast<double>(target.frame_id - base.frame_id);
+    u.bytes = config_.header_bytes +
+              target.full_bytes * std::min(1.0, config_.modeled_delta_fraction * gap);
+    return u;
+  }
+  SPICE_REQUIRE(base.positions.size() == target.positions.size(),
+                "delta endpoints disagree on atom count");
+  const auto qb = quantize(base.positions);
+  const auto qt = quantize(target.positions);
+  u.payload.reserve(24 + qt.size() * 2);
+  put_u64(u.payload, target.frame_id);
+  put_u64(u.payload, base.frame_id);
+  put_u64(u.payload, target.positions.size());
+  for (std::size_t a = 0; a < target.positions.size(); ++a) {
+    const std::int64_t d0 = qt[3 * a] - qb[3 * a];
+    const std::int64_t d1 = qt[3 * a + 1] - qb[3 * a + 1];
+    const std::int64_t d2 = qt[3 * a + 2] - qb[3 * a + 2];
+    if (fits_i16(d0) && fits_i16(d1) && fits_i16(d2)) {
+      put_16(u.payload, static_cast<std::int16_t>(d0));
+      put_16(u.payload, static_cast<std::int16_t>(d1));
+      put_16(u.payload, static_cast<std::int16_t>(d2));
+    } else {
+      put_16(u.payload, kEscape);
+      put_32(u.payload, static_cast<std::int32_t>(d0));
+      put_32(u.payload, static_cast<std::int32_t>(d1));
+      put_32(u.payload, static_cast<std::int32_t>(d2));
+    }
+  }
+  u.bytes = config_.header_bytes + static_cast<double>(u.payload.size());
+  return u;
+}
+
+void DeltaDecoder::apply(const EncodedUpdate& update) {
+  if (update.payload.empty()) {  // model mode: track ids only
+    if (update.kind == UpdateKind::Delta) {
+      SPICE_REQUIRE(update.base_id == frame_id_, "delta chain break at the decoder");
+    }
+    frame_id_ = update.frame_id;
+    quantized_.clear();
+    return;
+  }
+  std::size_t pos = 0;
+  if (update.kind == UpdateKind::Keyframe) {
+    const std::uint64_t id = get_u64(update.payload, pos);
+    const std::uint64_t atoms = get_u64(update.payload, pos);
+    quantized_.assign(static_cast<std::size_t>(atoms) * 3, 0);
+    for (auto& v : quantized_) v = get_32(update.payload, pos);
+    frame_id_ = id;
+  } else {
+    const std::uint64_t id = get_u64(update.payload, pos);
+    const std::uint64_t base = get_u64(update.payload, pos);
+    const std::uint64_t atoms = get_u64(update.payload, pos);
+    SPICE_REQUIRE(base == frame_id_, "delta chain break at the decoder");
+    SPICE_REQUIRE(atoms * 3 == quantized_.size(), "delta atom count mismatch");
+    for (std::size_t a = 0; a < atoms; ++a) {
+      const std::int16_t first = get_16(update.payload, pos);
+      std::int64_t d0, d1, d2;
+      if (first == kEscape) {
+        d0 = get_32(update.payload, pos);
+        d1 = get_32(update.payload, pos);
+        d2 = get_32(update.payload, pos);
+      } else {
+        d0 = first;
+        d1 = get_16(update.payload, pos);
+        d2 = get_16(update.payload, pos);
+      }
+      quantized_[3 * a] += d0;
+      quantized_[3 * a + 1] += d1;
+      quantized_[3 * a + 2] += d2;
+    }
+    frame_id_ = id;
+  }
+  SPICE_REQUIRE(pos == update.payload.size(), "trailing bytes in hub update payload");
+}
+
+std::vector<Vec3> DeltaDecoder::positions() const {
+  std::vector<Vec3> out;
+  out.reserve(quantized_.size() / 3);
+  for (std::size_t a = 0; a + 2 < quantized_.size(); a += 3) {
+    out.push_back(Vec3{static_cast<double>(quantized_[a]) * config_.quantum_A,
+                       static_cast<double>(quantized_[a + 1]) * config_.quantum_A,
+                       static_cast<double>(quantized_[a + 2]) * config_.quantum_A});
+  }
+  return out;
+}
+
+}  // namespace spice::hub

@@ -1,0 +1,100 @@
+#pragma once
+// Delta-encoded snapshot fan-out (DESIGN.md §12).
+//
+// Full keyframes every K frames anchor the stream; between keyframes each
+// client receives a delta against the last frame the hub sent it. Deltas
+// are computed in the QUANTIZED integer domain: both ends hold coordinates
+// as integer multiples of `quantum_A`, so applying integer deltas is exact
+// and the client's reconstruction never drifts — its error stays bounded
+// by quantum/2 regardless of how many deltas it chains.
+//
+// Wire format (little-endian, via the payload encoders below):
+//   keyframe: header + 3 × int32 per atom (absolute quantized coords)
+//   delta:    header + per atom either 3 × int16 (fits) or an int16
+//             escape sentinel followed by 3 × int32 (large displacement)
+//
+// A frame published without positions (pure timing-model sessions) has no
+// payload; its delta size follows the gap model
+//   bytes = header + full_bytes · min(1, modeled_delta_fraction · gap)
+// so QoS sweeps still see keyframes cost more than tight deltas and
+// coalesced catch-up deltas cost more than per-frame ones.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "hub/frame_ring.hpp"
+
+namespace spice::hub {
+
+struct CodecConfig {
+  std::uint32_t keyframe_interval = 16;  ///< K: frame_id % K == 0 ⇒ keyframe
+  double quantum_A = 1e-3;               ///< position quantization, Å
+  double header_bytes = 64.0;            ///< per-update wire overhead
+  /// Modeled per-frame delta size as a fraction of a keyframe (used only
+  /// for position-less frames; ~6/24 bytes per coordinate plus entropy
+  /// coding headroom).
+  double modeled_delta_fraction = 0.25;
+};
+
+enum class UpdateKind : std::uint8_t { Keyframe, Delta };
+
+/// One encoded update addressed to one client.
+struct EncodedUpdate {
+  UpdateKind kind = UpdateKind::Keyframe;
+  std::uint64_t frame_id = kNoFrame;  ///< target frame
+  std::uint64_t base_id = kNoFrame;   ///< delta base (kNoFrame for keyframes)
+  std::uint64_t sim_step = 0;
+  double sim_time_ps = 0.0;
+  double bytes = 0.0;                 ///< on-wire size (payload or model)
+  std::vector<std::uint8_t> payload;  ///< real encoding; empty in model mode
+};
+
+class SnapshotCodec {
+ public:
+  explicit SnapshotCodec(CodecConfig config);
+
+  [[nodiscard]] const CodecConfig& config() const { return config_; }
+
+  /// True when `frame_id` is a scheduled full-keyframe slot.
+  [[nodiscard]] bool keyframe_due(std::uint64_t frame_id) const {
+    return config_.keyframe_interval == 0 ||
+           frame_id % config_.keyframe_interval == 0;
+  }
+
+  [[nodiscard]] EncodedUpdate encode_keyframe(const FrameSnapshot& frame) const;
+  /// Delta from `base` to `target` (base.frame_id < target.frame_id).
+  [[nodiscard]] EncodedUpdate encode_delta(const FrameSnapshot& base,
+                                           const FrameSnapshot& target) const;
+
+  /// Quantize one coordinate stream (exposed for the decoder/tests).
+  [[nodiscard]] std::vector<std::int64_t> quantize(const std::vector<Vec3>& positions) const;
+
+ private:
+  CodecConfig config_;
+};
+
+/// Client-side reconstruction state: holds the quantized integer
+/// coordinates, applies keyframes and chained deltas exactly, and can
+/// materialize positions (each within quantum/2 of the encoder's input).
+class DeltaDecoder {
+ public:
+  explicit DeltaDecoder(CodecConfig config) : config_(config) {}
+
+  /// Apply an update with a real payload. Keyframes (re)set the state;
+  /// deltas require base_id == current frame (throws on a chain break —
+  /// the hub's resync logic must prevent this ever happening on a healthy
+  /// connection). Model-mode updates (empty payload) only track ids.
+  void apply(const EncodedUpdate& update);
+
+  [[nodiscard]] std::uint64_t frame_id() const { return frame_id_; }
+  [[nodiscard]] bool has_positions() const { return !quantized_.empty(); }
+  [[nodiscard]] std::vector<Vec3> positions() const;
+
+ private:
+  CodecConfig config_;
+  std::uint64_t frame_id_ = kNoFrame;
+  std::vector<std::int64_t> quantized_;  ///< 3 per atom
+};
+
+}  // namespace spice::hub

@@ -1,0 +1,42 @@
+#include "hub/frame_ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spice::hub {
+
+FrameRing::FrameRing(std::size_t capacity) : capacity_(capacity), slots_(capacity) {
+  SPICE_REQUIRE(capacity > 0, "frame ring needs a positive capacity");
+}
+
+std::uint64_t FrameRing::publish(FrameSnapshot frame) {
+  const std::uint64_t id = next_id_++;
+  frame.frame_id = id;
+  slots_[static_cast<std::size_t>(id % capacity_)] = std::move(frame);
+  peak_ = std::max(peak_, size());
+  return id;
+}
+
+const FrameSnapshot* FrameRing::find(std::uint64_t frame_id) const {
+  if (frame_id >= next_id_) return nullptr;
+  const FrameSnapshot& slot = slots_[static_cast<std::size_t>(frame_id % capacity_)];
+  return slot.frame_id == frame_id ? &slot : nullptr;
+}
+
+std::uint64_t FrameRing::newest_id() const { return next_id_ == 0 ? kNoFrame : next_id_ - 1; }
+
+std::uint64_t FrameRing::oldest_id() const {
+  if (next_id_ == 0) return kNoFrame;
+  return next_id_ > capacity_ ? next_id_ - capacity_ : 0;
+}
+
+std::size_t FrameRing::size() const {
+  return static_cast<std::size_t>(std::min<std::uint64_t>(next_id_, capacity_));
+}
+
+std::uint64_t FrameRing::evicted() const {
+  return next_id_ > capacity_ ? next_id_ - capacity_ : 0;
+}
+
+}  // namespace spice::hub

@@ -1,0 +1,69 @@
+#pragma once
+// Single-producer frame ring — the decoupling buffer between one running
+// simulation and N steering clients (DESIGN.md §12).
+//
+// The paper's single-client IMD loop stalls the simulation when its
+// flow-control window fills ("a significant slowdown of the simulation as
+// it stalls waiting for data from the visualization", §II). The hub breaks
+// that coupling: the simulation publishes snapshots into a fixed-capacity
+// ring at its own rate and NEVER blocks on consumers. When the ring is
+// full the oldest frame is evicted; a client whose delta base was evicted
+// resyncs from the newest keyframe instead of holding the producer back.
+// Peak occupancy is therefore bounded by the capacity by construction —
+// the bench gate asserts it as evidence that no path reintroduces
+// unbounded buffering.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace spice::hub {
+
+/// Sentinel for "no frame" (client has no base yet / ring is empty).
+inline constexpr std::uint64_t kNoFrame = ~std::uint64_t{0};
+
+/// One published simulation snapshot. `positions` is filled when a real
+/// engine backs the hub (the codec then computes genuine delta payloads);
+/// pure timing-model sessions leave it empty and carry only `full_bytes`.
+struct FrameSnapshot {
+  std::uint64_t frame_id = kNoFrame;  ///< assigned by FrameRing::publish
+  std::uint64_t sim_step = 0;         ///< engine step count at capture
+  double sim_time_ps = 0.0;
+  double published_at = 0.0;          ///< hub clock, seconds
+  double full_bytes = 0.0;            ///< on-wire size of a keyframe encoding
+  double steered_com_z = 0.0;
+  std::vector<Vec3> positions;        ///< empty in timing-model mode
+};
+
+class FrameRing {
+ public:
+  explicit FrameRing(std::size_t capacity);
+
+  /// Publish a snapshot: assigns the next sequential frame id, evicting
+  /// the oldest retained frame when the ring is full. Never blocks.
+  std::uint64_t publish(FrameSnapshot frame);
+
+  /// The retained frame with this id, or nullptr when it was evicted (or
+  /// never existed).
+  [[nodiscard]] const FrameSnapshot* find(std::uint64_t frame_id) const;
+
+  /// Newest / oldest retained ids (kNoFrame while empty).
+  [[nodiscard]] std::uint64_t newest_id() const;
+  [[nodiscard]] std::uint64_t oldest_id() const;
+
+  [[nodiscard]] std::size_t size() const;      ///< currently retained
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// High-water mark of size() — the bench's no-unbounded-growth gate.
+  [[nodiscard]] std::size_t peak_size() const { return peak_; }
+  [[nodiscard]] std::uint64_t published() const { return next_id_; }
+  [[nodiscard]] std::uint64_t evicted() const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_id_ = 0;  ///< frames published so far; next id to assign
+  std::size_t peak_ = 0;
+  std::vector<FrameSnapshot> slots_;  ///< slot = frame_id % capacity
+};
+
+}  // namespace spice::hub

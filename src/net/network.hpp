@@ -88,7 +88,9 @@ class Network {
   void set_intra_site_qos(const QosSpec& qos) { intra_site_ = qos; }
 
   /// Register a transient degradation window (applies to every path whose
-  /// transmission starts inside it). Windows may overlap; effects stack.
+  /// transmission starts inside it). Windows may overlap; effects stack —
+  /// latency factors multiply, loss_adds sum (clamped to 0.95), so the
+  /// result is independent of registration order (see qos.hpp).
   void add_degradation_window(const DegradationWindow& window);
   [[nodiscard]] const std::vector<DegradationWindow>& degradation_windows() const {
     return degradations_;

@@ -21,6 +21,7 @@ ImdSession::ImdSession(spice::net::Network& network, spice::net::HostId sim_host
   SPICE_REQUIRE(config_.steps_per_frame > 0, "steps_per_frame must be positive");
   SPICE_REQUIRE(config_.window > 0, "flow-control window must be positive");
   SPICE_REQUIRE(config_.seconds_per_step > 0.0, "seconds_per_step must be positive");
+  SPICE_REQUIRE(config_.ack_timeout_s > 0.0, "ack_timeout_s must be positive");
 }
 
 ImdMetrics ImdSession::run() {
@@ -31,6 +32,8 @@ ImdMetrics ImdSession::run() {
   static constexpr double kRttBounds[] = {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
   static obs::Histogram& rtt_hist =
       obs::metrics().histogram("steering.imd.frame_rtt_s", kRttBounds);
+  static obs::Counter& timed_out = obs::metrics().counter("steering.imd.frames_timed_out");
+  obs::Gauge& stall_gauge = obs::metrics().gauge("steering.imd.stall_seconds");
   ImdMetrics metrics;
   double wall = 0.0;
   double viz_free = 0.0;  // when the visualizer finishes its current frame
@@ -38,6 +41,7 @@ ImdMetrics ImdSession::run() {
   struct InFlight {
     bool acked;
     double ack_time;
+    double sent_at;
   };
   std::deque<InFlight> inflight;
 
@@ -76,13 +80,23 @@ ImdMetrics ImdSession::run() {
 
     if ((step + 1) % config_.steps_per_frame != 0) continue;
 
-    // Flow control: block until a window slot frees.
+    // Flow control: block until a window slot frees — when the ack comes
+    // in, or at the ack timeout for a frame that will never be acked (the
+    // frame or its ack died in the network, or the visualizer is dead).
+    // Without the timeout an unacked slot would free instantly, silently
+    // exempting the worst clients from flow control.
     if (inflight.size() >= config_.window) {
       const InFlight oldest = inflight.front();
       inflight.pop_front();
-      if (oldest.acked && oldest.ack_time > wall) {
-        metrics.stall_seconds += oldest.ack_time - wall;
-        wall = oldest.ack_time;
+      const double deadline = oldest.sent_at + config_.ack_timeout_s;
+      const double release = oldest.acked ? std::min(oldest.ack_time, deadline) : deadline;
+      if (!oldest.acked || oldest.ack_time > deadline) {
+        ++metrics.frames_timed_out;
+        timed_out.add(1);
+      }
+      if (release > wall) {
+        metrics.stall_seconds += release - wall;
+        wall = release;
       }
     }
 
@@ -93,7 +107,7 @@ ImdMetrics ImdSession::run() {
                                      config_.transport);
     if (!frame.delivered) {
       ++metrics.frames_lost;
-      inflight.push_back(InFlight{false, 0.0});
+      inflight.push_back(InFlight{false, 0.0, wall});
       ++frame_id;
       continue;
     }
@@ -122,17 +136,18 @@ ImdMetrics ImdSession::run() {
         network_.send(render_done, viz_host_, sim_host_, control_message_bytes(),
                       config_.transport);
     if (ack.delivered) {
-      inflight.push_back(InFlight{true, ack.deliver_at});
+      inflight.push_back(InFlight{true, ack.deliver_at, wall});
       rtt_sum += ack.deliver_at - wall;
       ++rtt_count;
       rtt_hist.record(ack.deliver_at - wall);
     } else {
-      inflight.push_back(InFlight{false, 0.0});
+      inflight.push_back(InFlight{false, 0.0, wall});
     }
     ++frame_id;
   }
 
   metrics.wall_seconds = wall;
+  stall_gauge.add(metrics.stall_seconds);
   metrics.ideal_seconds =
       static_cast<double>(config_.total_steps) * config_.seconds_per_step;
   metrics.mean_frame_rtt = rtt_count > 0 ? rtt_sum / static_cast<double>(rtt_count) : 0.0;

@@ -37,6 +37,12 @@ struct ImdConfig {
   double seconds_per_step = 0.0864;  ///< 300k atoms on 128 procs (cost model)
   double frame_bytes = 3.6e6;        ///< 300k atoms × 12 bytes
   double render_seconds = 0.02;      ///< visualizer per-frame processing
+  /// A window slot whose frame is never acked (lost frame, lost ack, or a
+  /// dead visualizer) frees `ack_timeout_s` after the frame was sent. The
+  /// simulation pays that full timeout as stall — a crashed visualizer
+  /// throttles the single-client session to one frame per timeout, which
+  /// is exactly why spice::hub decouples the producer from its consumers.
+  double ack_timeout_s = 10.0;
   spice::net::Transport transport = spice::net::Transport::Tcp;
 };
 
@@ -57,6 +63,7 @@ struct ImdMetrics {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_lost = 0;       ///< undeliverable after retries
+  std::uint64_t frames_timed_out = 0;  ///< window slots freed by ack timeout
   std::uint64_t commands_sent = 0;
   std::uint64_t commands_applied = 0;
   double wall_seconds = 0.0;           ///< total session wall-clock

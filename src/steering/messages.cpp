@@ -1,5 +1,8 @@
 #include "steering/messages.hpp"
 
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
 namespace spice::steering {
 
 SteeringMessage SteeringMessage::pause() { return {.type = MessageType::Pause}; }
@@ -36,5 +39,43 @@ SteeringMessage SteeringMessage::clone_request(const std::string& label) {
 }
 
 double control_message_bytes() { return 256.0; }
+
+void write_message(BinaryWriter& writer, const SteeringMessage& message) {
+  writer.write_u8(static_cast<std::uint8_t>(message.type));
+  writer.write_u64(message.sequence);
+  writer.write_string(message.parameter);
+  writer.write_f64(message.value);
+  writer.write_vec3(message.force);
+  writer.write_u64(message.frame_id);
+  writer.write_f64(message.sim_time);
+}
+
+SteeringMessage read_message(BinaryReader& reader) {
+  SteeringMessage message;
+  const std::uint8_t tag = reader.read_u8();
+  SPICE_REQUIRE(tag <= static_cast<std::uint8_t>(MessageType::FrameAck),
+                "unknown steering message type tag");
+  message.type = static_cast<MessageType>(tag);
+  message.sequence = reader.read_u64();
+  message.parameter = reader.read_string();
+  message.value = reader.read_f64();
+  message.force = reader.read_vec3();
+  message.frame_id = reader.read_u64();
+  message.sim_time = reader.read_f64();
+  return message;
+}
+
+std::vector<std::uint8_t> serialize_message(const SteeringMessage& message) {
+  BinaryWriter writer;
+  write_message(writer, message);
+  return writer.take();
+}
+
+SteeringMessage deserialize_message(std::span<const std::uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  SteeringMessage message = read_message(reader);
+  SPICE_REQUIRE(reader.at_end(), "trailing bytes after steering message");
+  return message;
+}
 
 }  // namespace spice::steering

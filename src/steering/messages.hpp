@@ -6,9 +6,16 @@
 // arrows), which is "used extensively for interactive simulations".
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/vec3.hpp"
+
+namespace spice {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace spice
 
 namespace spice::steering {
 
@@ -46,5 +53,17 @@ struct SteeringMessage {
 /// tiny; Frame messages carry the coordinate payload and their size is
 /// supplied by the simulation).
 [[nodiscard]] double control_message_bytes();
+
+// --- serialization ---------------------------------------------------------
+// The one canonical wire encoding of a SteeringMessage (the session-log
+// entry layout): type u8, sequence u64, parameter string, value f64,
+// force vec3, frame_id u64, sim_time f64. write/read compose into larger
+// records (SessionLog uses them); serialize/deserialize round-trip one
+// standalone message. read_message validates the type tag's enum range.
+
+void write_message(BinaryWriter& writer, const SteeringMessage& message);
+[[nodiscard]] SteeringMessage read_message(BinaryReader& reader);
+[[nodiscard]] std::vector<std::uint8_t> serialize_message(const SteeringMessage& message);
+[[nodiscard]] SteeringMessage deserialize_message(std::span<const std::uint8_t> bytes);
 
 }  // namespace spice::steering

@@ -25,13 +25,7 @@ std::vector<std::uint8_t> SessionLog::serialize() const {
   w.write_u64(entries_.size());
   for (const auto& e : entries_) {
     w.write_u64(e.step);
-    w.write_u8(static_cast<std::uint8_t>(e.message.type));
-    w.write_u64(e.message.sequence);
-    w.write_string(e.message.parameter);
-    w.write_f64(e.message.value);
-    w.write_vec3(e.message.force);
-    w.write_u64(e.message.frame_id);
-    w.write_f64(e.message.sim_time);
+    write_message(w, e.message);
   }
   return w.take();
 }
@@ -45,13 +39,7 @@ SessionLog SessionLog::deserialize(std::span<const std::uint8_t> bytes) {
   for (std::uint64_t i = 0; i < count; ++i) {
     LoggedMessage e;
     e.step = r.read_u64();
-    e.message.type = static_cast<MessageType>(r.read_u8());
-    e.message.sequence = r.read_u64();
-    e.message.parameter = r.read_string();
-    e.message.value = r.read_f64();
-    e.message.force = r.read_vec3();
-    e.message.frame_id = r.read_u64();
-    e.message.sim_time = r.read_f64();
+    e.message = read_message(r);
     log.entries_.push_back(std::move(e));
   }
   return log;

@@ -6,9 +6,12 @@
 #include <sstream>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "steering/session_log.hpp"
 #include "viz/series_writer.hpp"
 
 namespace spice::testkit {
@@ -166,6 +169,67 @@ CheckResult serializer_roundtrip(std::uint64_t seed) {
   }
   ok = ok && reader.at_end();
   return check(ok, "serializer round-trip, seed " + std::to_string(seed));
+}
+
+namespace {
+
+double random_double(Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.05) return std::numeric_limits<double>::quiet_NaN();
+  if (roll < 0.10) return std::numeric_limits<double>::infinity();
+  if (roll < 0.15) return -std::numeric_limits<double>::infinity();
+  if (roll < 0.20) return rng.bernoulli(0.5) ? 0.0 : -0.0;
+  if (roll < 0.30) return std::numeric_limits<double>::max() * rng.uniform();
+  return rng.gaussian(0.0, 1e6);
+}
+
+steering::SteeringMessage random_message(Rng& rng) {
+  steering::SteeringMessage m;
+  m.type = static_cast<steering::MessageType>(
+      rng.uniform_index(1 + static_cast<std::uint64_t>(steering::MessageType::FrameAck)));
+  m.sequence = rng.next_u64();
+  const std::size_t len = rng.uniform_index(48);
+  for (std::size_t c = 0; c < len; ++c) {
+    m.parameter.push_back(static_cast<char>(rng.uniform_index(256)));
+  }
+  m.value = random_double(rng);
+  m.force = {random_double(rng), random_double(rng), random_double(rng)};
+  m.frame_id = rng.next_u64();
+  m.sim_time = random_double(rng);
+  return m;
+}
+
+}  // namespace
+
+steering::SteeringMessage make_random_message(std::uint64_t seed) {
+  Rng rng = Rng::stream(seed, /*a=*/0x5731);
+  return random_message(rng);
+}
+
+CheckResult steering_message_roundtrip(std::uint64_t seed) {
+  const steering::SteeringMessage original = make_random_message(seed);
+  const auto bytes = steering::serialize_message(original);
+  const steering::SteeringMessage decoded = steering::deserialize_message(bytes);
+  const auto re_encoded = steering::serialize_message(decoded);
+  return check(re_encoded == bytes,
+               "steering message re-encode byte identity, seed " + std::to_string(seed));
+}
+
+CheckResult session_log_roundtrip(std::uint64_t seed) {
+  Rng rng = Rng::stream(seed, /*a=*/0x5106);
+  const std::size_t count = rng.uniform_index(32);
+  std::vector<std::uint64_t> steps(count);
+  for (auto& s : steps) s = rng.uniform_index(100000);
+  std::sort(steps.begin(), steps.end());  // record() requires step order
+  steering::SessionLog log;
+  for (const std::uint64_t step : steps) log.record(step, random_message(rng));
+  const auto bytes = log.serialize();
+  const steering::SessionLog decoded = steering::SessionLog::deserialize(bytes);
+  const bool sizes = decoded.size() == log.size();
+  const bool identical = decoded.serialize() == bytes;
+  return check(sizes && identical,
+               "session log re-encode byte identity, seed " + std::to_string(seed) +
+                   (sizes ? "" : " [entry count changed]"));
 }
 
 CheckResult json_table_roundtrip(std::uint64_t seed) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "testkit/property.hpp"
 #include "testkit/seed_sweep.hpp"
 
@@ -43,6 +44,34 @@ TEST(PropertyRoundTrip, JsonTableParseBack) {
     const CheckResult result = json_table_roundtrip(seed);
     EXPECT_TRUE(result) << result.detail;
   }
+}
+
+TEST(PropertyRoundTrip, SteeringMessageReEncodesByteIdentical) {
+  for (const std::uint64_t seed : fuzz_sweep().seeds()) {
+    const CheckResult result = steering_message_roundtrip(seed);
+    EXPECT_TRUE(result) << result.detail;
+  }
+}
+
+TEST(PropertyRoundTrip, SessionLogReEncodesByteIdentical) {
+  for (const std::uint64_t seed : fuzz_sweep().seeds()) {
+    const CheckResult result = session_log_roundtrip(seed);
+    EXPECT_TRUE(result) << result.detail;
+  }
+}
+
+TEST(PropertyRoundTrip, RandomMessageGeneratorIsSeedDeterministic) {
+  for (const std::uint64_t seed : fuzz_sweep().seeds()) {
+    const auto a = spice::steering::serialize_message(make_random_message(seed));
+    const auto b = spice::steering::serialize_message(make_random_message(seed));
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(PropertyRoundTrip, MessageDecoderRejectsCorruptTypeTag) {
+  auto bytes = spice::steering::serialize_message(make_random_message(42));
+  bytes[0] = 0xee;  // type tag is the first byte; 0xee is out of enum range
+  EXPECT_THROW(spice::steering::deserialize_message(bytes), spice::Error);
 }
 
 TEST(PropertyRoundTrip, GeneratorIsSeedDeterministic) {

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "md/engine.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "pore/system.hpp"
 #include "steering/haptic.hpp"
 #include "steering/imd.hpp"
@@ -198,6 +199,41 @@ TEST(ImdSession, CongestedInternetStallsTheSimulation) {
   EXPECT_EQ(m.steps_completed, 400u);
   EXPECT_GT(m.stall_fraction(), 0.3);
   EXPECT_LT(m.efficiency(), 0.7);
+}
+
+TEST(ImdSession, DeadVisualizerStallsViaAckTimeout) {
+  // Regression for the window-stall accounting: a dead visualizer (every
+  // frame undeliverable, so nothing is ever acked) used to pop its unacked
+  // window slots for FREE — the one client that most deserved flow control
+  // was exempt from it and the session reported 100% efficiency. Unacked
+  // slots now free only at the ack timeout, so once the window fills the
+  // simulation demonstrably stalls.
+  const net::QosSpec dead{.name = "dead", .latency_ms = 10.0, .jitter_ms = 0.0,
+                          .loss_rate = 1.0, .bandwidth_mbps = 100.0};
+  net::HostId sim, viz;
+  auto network = imd_network(dead, sim, viz);
+  ImdConfig config = fast_imd();
+  config.ack_timeout_s = 3.0;
+
+  obs::set_metrics_enabled(true);
+  obs::Gauge& stall_gauge = obs::metrics().gauge("steering.imd.stall_seconds");
+  const double gauge_before = stall_gauge.value();
+  ImdSession session(network, sim, viz, config);
+  const ImdMetrics m = session.run();
+  const double gauge_delta = stall_gauge.value() - gauge_before;
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(m.frames_sent, 40u);
+  EXPECT_EQ(m.frames_lost, 40u);  // nothing was ever delivered
+  // Every window-full pop hit the timeout path; the last `window` frames
+  // were still in flight when the session ended.
+  EXPECT_EQ(m.frames_timed_out, m.frames_sent - config.window);
+  EXPECT_GT(m.stall_seconds, 5.0);  // visibly throttled, not full speed
+  // Wall time decomposes exactly into compute + stall: the accounting is
+  // complete (no wall advance escapes one of the two buckets).
+  EXPECT_NEAR(m.wall_seconds, m.ideal_seconds + m.stall_seconds, 1e-9);
+  EXPECT_LT(m.efficiency(), 0.8);
+  EXPECT_NEAR(gauge_delta, m.stall_seconds, 1e-9);
 }
 
 TEST(ImdSession, WiderWindowToleratesLatency) {
