@@ -4,8 +4,10 @@
 // 600-bead dense charged chain, kernel path, no rebuilds) across the obs
 // tiers, interleaved round-robin so drift hits every tier equally:
 //
-//   disabled — obs compiled in, every runtime switch off (the default)
-//   metrics  — counters/histograms on (engine, pool, per-eval counters)
+//   disabled — obs compiled in, every runtime switch off (recorder too)
+//   recorder — the always-on flight recorder alone (its shipping default):
+//              per-eval ring writes, everything else off
+//   metrics  — recorder + counters/histograms (engine, pool, per-eval)
 //   tracing  — metrics + process tracer (per-eval phase spans)
 //   detail   — tracing + per-kernel×per-slice time attribution
 //   exporter — detail + a live SnapshotExporter streaming the registry to
@@ -14,8 +16,10 @@
 // The disabled tier IS the baseline: its only instruction-level cost is
 // the relaxed flag loads guarding each instrumentation site, which a
 // separate microbenchmark prices directly (guard_cost_per_eval_pct). The
-// claim checks bound that guard cost at ≤2% and the whole ladder — up to
-// and including the exporter tier — at ≤8% over disabled.
+// claim checks bound that guard cost at ≤2%, the always-on recorder rung
+// at ≤2% over the all-off baseline (it ships enabled, so its price IS the
+// default overhead), and the whole ladder — up to and including the
+// exporter tier — at ≤8% over disabled.
 //
 // Writes BENCH_obs_overhead.json with per-tier timings and verdicts.
 
@@ -69,11 +73,15 @@ Engine make_force_eval_engine(std::size_t threads) {
   return engine;
 }
 
-enum class Tier { Disabled = 0, Metrics, Tracing, Detail, Exporter };
-constexpr int kTiers = 5;
-constexpr const char* kTierNames[] = {"disabled", "metrics", "tracing", "detail", "exporter"};
+enum class Tier { Disabled = 0, Recorder, Metrics, Tracing, Detail, Exporter };
+constexpr int kTiers = 6;
+constexpr const char* kTierNames[] = {"disabled", "recorder", "metrics",
+                                      "tracing",  "detail",   "exporter"};
 
 void apply_tier(Tier tier, obs::Tracer* tracer) {
+  // The recorder ships ON; the all-off baseline must switch it off
+  // explicitly. Every tier above Disabled keeps it on (always-on tier).
+  obs::set_recorder_enabled(tier >= Tier::Recorder);
   obs::set_metrics_enabled(tier >= Tier::Metrics);
   obs::set_detail_enabled(tier >= Tier::Detail);
   const bool tracing = tier >= Tier::Tracing;
@@ -130,6 +138,7 @@ std::vector<TierTiming> measure(std::size_t threads) {
     }
   }
   apply_tier(Tier::Disabled, nullptr);
+  obs::set_recorder_enabled(true);  // restore the shipping default
   return timing;
 }
 
@@ -169,10 +178,11 @@ int main() {
   }
 
   const double base1 = t1[0].best_us;
-  const double metrics_pct = overhead_pct(t1[1].best_us, base1);
-  const double tracing_pct = overhead_pct(t1[2].best_us, base1);
-  const double detail_pct = overhead_pct(t1[3].best_us, base1);
-  const double exporter_pct = overhead_pct(t1[4].best_us, base1);
+  const double recorder_pct = overhead_pct(t1[1].best_us, base1);
+  const double metrics_pct = overhead_pct(t1[2].best_us, base1);
+  const double tracing_pct = overhead_pct(t1[3].best_us, base1);
+  const double detail_pct = overhead_pct(t1[4].best_us, base1);
+  const double exporter_pct = overhead_pct(t1[5].best_us, base1);
 
   // Disabled-path cost: guards on the eval path while everything is off.
   // Per evaluation: 1 force_evals counter + ~2 trace guards + ~16 slice
@@ -184,19 +194,22 @@ int main() {
   std::printf("\nguard cost (metrics off): %.2f ns/site -> %.4f%% of one eval "
               "(%.0f sites)\n",
               guard_ns, disabled_pct, kGuardsPerEval);
-  std::printf("overhead vs disabled (threads=1): metrics %+.2f%%, tracing %+.2f%%, "
-              "detail %+.2f%%, exporter %+.2f%%\n",
-              metrics_pct, tracing_pct, detail_pct, exporter_pct);
+  std::printf("overhead vs disabled (threads=1): recorder %+.2f%%, metrics %+.2f%%, "
+              "tracing %+.2f%%, detail %+.2f%%, exporter %+.2f%%\n",
+              recorder_pct, metrics_pct, tracing_pct, detail_pct, exporter_pct);
 
   const bool disabled_ok = disabled_pct <= 2.0;
+  const bool recorder_ok = recorder_pct <= 2.0;
   const bool tracing_ok = tracing_pct <= 8.0;
   const double ladder_max_pct =
-      std::max({metrics_pct, tracing_pct, detail_pct, exporter_pct});
+      std::max({recorder_pct, metrics_pct, tracing_pct, detail_pct, exporter_pct});
   const bool ladder_ok = ladder_max_pct <= 8.0;
 
   std::printf("\n--- Claim checks ---\n");
   std::printf("[%s] obs compiled in but disabled costs <= 2%% of a force eval\n",
               disabled_ok ? "PASS" : "FAIL");
+  std::printf("[%s] always-on flight recorder costs <= 2%% over all-off (%+.2f%%)\n",
+              recorder_ok ? "PASS" : "FAIL", recorder_pct);
   std::printf("[%s] full tracing (metrics + process tracer) costs <= 8%%\n",
               tracing_ok ? "PASS" : "FAIL");
   std::printf("[%s] full ladder incl. 1 Hz exporter stays <= 8%% (max %+.2f%%)\n",
@@ -221,17 +234,19 @@ int main() {
   json << " },\n"
        << " \"disabled_guard_ns\": " << guard_ns << ",\n"
        << " \"disabled_overhead_pct\": " << disabled_pct << ",\n"
+       << " \"recorder_overhead_pct\": " << recorder_pct << ",\n"
        << " \"metrics_overhead_pct\": " << metrics_pct << ",\n"
        << " \"tracing_overhead_pct\": " << tracing_pct << ",\n"
        << " \"detail_overhead_pct\": " << detail_pct << ",\n"
        << " \"exporter_overhead_pct\": " << exporter_pct << ",\n"
        << " \"claims\": {\n"
        << "  \"disabled_within_2pct\": " << (disabled_ok ? "true" : "false") << ",\n"
+       << "  \"recorder_within_2pct\": " << (recorder_ok ? "true" : "false") << ",\n"
        << "  \"tracing_within_8pct\": " << (tracing_ok ? "true" : "false") << ",\n"
        << "  \"full_ladder_within_8pct\": " << (ladder_ok ? "true" : "false") << "\n"
        << " }\n"
        << "}\n";
   std::printf("\nwrote BENCH_obs_overhead.json\n");
 
-  return (disabled_ok && tracing_ok && ladder_ok) ? 0 : 1;
+  return (disabled_ok && recorder_ok && tracing_ok && ladder_ok) ? 0 : 1;
 }

@@ -24,10 +24,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/json.hpp"
 #include "hub/harness.hpp"
 #include "net/qos.hpp"
 #include "obs/obs.hpp"
@@ -231,6 +234,52 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(state1),
               static_cast<unsigned long long>(state8));
 
+  // --- forced stall -> post-mortem black-box dump -----------------------------
+  // Arm the dumper, then wedge a watchdog gauge probe: the ring-occupancy
+  // gauge is watched against a band it can never enter, so the poll after
+  // the deadline fires a stall alert, which triggers the dump. The dump
+  // must be parseable and its causal tree must link a hub client session
+  // (sN node) back to the engine step spans recorded under the same
+  // campaign/job/replica — the end-to-end black-box story.
+  bool gate_postmortem = false;
+  {
+    obs::PostMortemConfig pm;
+    pm.prefix = "steering_hub_postmortem";
+    pm.output_dir = ".";
+    pm.dump_on_watchdog = true;
+    obs::arm_post_mortem(pm);
+
+    obs::Watchdog watchdog;
+    obs::Gauge& occupancy = obs::metrics().gauge("hub.ring.occupancy");
+    // A band strictly above the gauge's parked value: unreachable, so the
+    // probe sees "out of band" for the whole (tiny) window.
+    watchdog.watch_gauge("hub-ring-occupancy", occupancy, occupancy.value() + 1.0,
+                         occupancy.value() + 2.0, /*deadline_s=*/0.02);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    const std::size_t fired = watchdog.poll();
+    obs::disarm_post_mortem();
+
+    auto slurp = [](const char* path) {
+      std::ifstream in(path);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      return ss.str();
+    };
+    const std::string flight = slurp("steering_hub_postmortem_flight.json");
+    const std::string causal = slurp("steering_hub_postmortem_causal.json");
+    const bool parseable = json_is_valid(flight) && json_is_valid(causal);
+    const bool linked = causal.find("\"id\":\"s") != std::string::npos &&
+                        causal.find("\"id\":\"r0\"") != std::string::npos &&
+                        causal.find("md.force_eval") != std::string::npos &&
+                        causal.find("hub.update_sent") != std::string::npos;
+    gate_postmortem = fired > 0 && obs::post_mortem_dump_count() > 0 && parseable && linked;
+    std::printf("\npost-mortem: stall alerts %zu, dumps %llu, flight %zu B, causal %zu B — "
+                "parseable %s, session->engine linkage %s\n",
+                fired, static_cast<unsigned long long>(obs::post_mortem_dump_count()),
+                flight.size(), causal.size(), parseable ? "yes" : "NO",
+                linked ? "yes" : "NO");
+  }
+
   // --- gates ------------------------------------------------------------------
   const bool gate_degradation = degradation <= 0.05;
   const bool gate_ring = hub_run.metrics.peak_ring <= hub_run.metrics.ring_capacity;
@@ -247,6 +296,8 @@ int main(int argc, char** argv) {
               thread_invariant ? "PASS" : "FAIL");
   std::printf("gate: naive fan-out demonstrably worse ......... %s\n",
               gate_naive ? "PASS" : "FAIL");
+  std::printf("gate: stall dump parseable + causally linked ... %s\n",
+              gate_postmortem ? "PASS" : "FAIL");
 
   // --- JSON -------------------------------------------------------------------
   std::ofstream json("BENCH_steering_hub.json");
@@ -306,11 +357,12 @@ int main(int argc, char** argv) {
        << ", \"peak_ring\": " << (gate_ring ? "true" : "false")
        << ", \"deterministic\": " << (deterministic ? "true" : "false")
        << ", \"thread_invariant\": " << (thread_invariant ? "true" : "false")
-       << ", \"naive_contrast\": " << (gate_naive ? "true" : "false") << "}\n"
+       << ", \"naive_contrast\": " << (gate_naive ? "true" : "false")
+       << ", \"postmortem_dump\": " << (gate_postmortem ? "true" : "false") << "}\n"
        << "}\n";
   std::printf("\nwrote BENCH_steering_hub.json\n");
 
   const bool all = gate_degradation && gate_ring && deterministic && thread_invariant &&
-                   gate_naive;
+                   gate_naive && gate_postmortem;
   return all ? 0 : 1;
 }

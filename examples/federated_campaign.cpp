@@ -70,14 +70,30 @@ viz::DashboardFrame to_frame(const CampaignProgress& progress) {
 int main() {
   set_log_level(LogLevel::Info);  // narrate the phases
 
+  // Every event this process records hangs off campaign 1 — the causal
+  // root the post-mortem tree groups by.
+  const obs::ContextScope campaign_scope(obs::TraceContext::campaign(1));
+
+  // Black box first: if this demo wedges (watchdog) or dies on a signal,
+  // the flight recorder's last seconds land next to the other artifacts.
+  obs::PostMortemConfig post_mortem;
+  post_mortem.output_dir = SPICE_OUTPUT_DIR;
+  post_mortem.prefix = "federated_campaign_postmortem";
+  post_mortem.dump_on_watchdog = true;
+  post_mortem.dump_on_signal = true;
+  obs::arm_post_mortem(post_mortem);
+
   // Observability on: metrics + wall-clock tracing for the whole pipeline,
   // plus a dedicated virtual-clock tracer for the DES campaign.
   obs::set_metrics_enabled(true);
   obs::set_tracing_enabled(true);
   obs::Tracer wall_tracer("spice pipeline (wall clock)");
   // The production phase alone runs ~1.5M force evaluations; cap the wall
-  // trace so the demo output stays a viewer-friendly size (drops counted).
+  // trace so the demo output stays a viewer-friendly size. KeepNewest: for
+  // a demo whose interesting part is the production phase at the end, the
+  // recent window beats the startup transient.
   wall_tracer.set_event_limit(100'000);
+  wall_tracer.set_drop_policy(obs::DropPolicy::KeepNewest);
   obs::set_process_tracer(&wall_tracer);
   obs::Tracer grid_tracer("federated campaign (simulated time)");
 
@@ -305,15 +321,26 @@ int main() {
               "virtual clock — load in ui.perfetto.dev)\n",
               out_path("federated_campaign_trace.json").c_str(), grid_tracer.event_count());
   std::printf("pipeline trace: %s (%zu events, "
-              "wall clock, %zu dropped past the cap)\n",
+              "wall clock, %zu dropped past the cap, keep-newest)\n",
               out_path("federated_campaign_wall_trace.json").c_str(),
               wall_tracer.event_count(), wall_tracer.dropped_count());
+  std::printf("flight recorder: %llu events recorded on %zu threads "
+              "(%llu overwritten; post-mortem armed: watchdog + signals, %llu dumps)\n",
+              static_cast<unsigned long long>(obs::flight_recorder().recorded_count()),
+              obs::flight_recorder().active_threads(),
+              static_cast<unsigned long long>(obs::flight_recorder().overwritten_count()),
+              static_cast<unsigned long long>(obs::post_mortem_dump_count()));
   std::printf("\ncounters and gauges:\n");
   viz::metrics_scalar_table(snapshot).write_pretty(std::cout, 0);
+  std::printf("\nhistogram summary (interpolated quantiles):\n");
+  viz::histogram_summary_table(snapshot).write_pretty(std::cout, 3);
   for (const auto& histogram : snapshot.histograms) {
-    std::printf("\nhistogram %s (count %llu, mean %.4f):\n", histogram.name.c_str(),
-                static_cast<unsigned long long>(histogram.count), histogram.mean());
+    std::printf("\nhistogram %s (count %llu, mean %.4f, p50 %.3f, p95 %.3f, p99 %.3f):\n",
+                histogram.name.c_str(), static_cast<unsigned long long>(histogram.count),
+                histogram.mean(), histogram.quantile(0.5), histogram.quantile(0.95),
+                histogram.quantile(0.99));
     viz::histogram_table(histogram).write_pretty(std::cout, 3);
   }
+  obs::disarm_post_mortem();  // clean exit: no dump on the final return
   return 0;
 }

@@ -146,6 +146,15 @@ void Site::add_reservation(const Reservation& r) {
 
 void Site::start_row(JobRow row) {
   const double duration = table_->remaining_hours(row) / spec_.speed;
+  // Flight-recorder lifecycle marks carry the grid job id so a post-mortem
+  // causal tree can hang this job's later engine/hub events off it. Wall
+  // clock, not sim clock: the recorder answers "what was the process doing",
+  // the DES tracer answers "what was the simulated grid doing".
+  if (obs::recorder_on()) {
+    obs::flight_recorder().record_at(obs::RecordKind::Mark, "grid.job.start", obs::now_us(),
+                                     static_cast<double>(table_->processors(row)),
+                                     obs::current_context().with_job(table_->id(row)));
+  }
   table_->set_state(row, RowState::Running);
   table_->start_time(row) = events_.now();
   // The queued wait is fully known here; emit it retroactively so the
@@ -190,6 +199,10 @@ void Site::finish_row(JobRow row) {
   {
     static obs::Counter& completed = obs::metrics().counter("grid.site.jobs_completed");
     completed.add(1);
+  }
+  if (obs::recorder_on()) {
+    obs::flight_recorder().record_at(obs::RecordKind::Mark, "grid.job.finish", obs::now_us(),
+                                     wall, obs::current_context().with_job(table_->id(row)));
   }
   if (traced(row)) {
     events_.tracer()->complete(table_->display_name(row), "grid.job.run",
@@ -239,6 +252,10 @@ void Site::fail_row(JobRow row, const char* reason) {
   {
     static obs::Counter& failed = obs::metrics().counter("grid.site.jobs_failed");
     failed.add(1);
+  }
+  if (obs::recorder_on()) {
+    obs::flight_recorder().record_at(obs::RecordKind::Mark, "grid.job.fail", obs::now_us(),
+                                     0.0, obs::current_context().with_job(table_->id(row)));
   }
   if (traced(row)) {
     const std::string name = table_->display_name(row) + " [" + reason + "]";

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "grid/des.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 
 namespace spice::hub {
 
@@ -138,6 +139,13 @@ HubRunMetrics HubHarness::run() {
   std::function<void(std::uint64_t)> publish_frame;
   auto* pf = &publish_frame;
   publish_frame = [&, pf](std::uint64_t frame_id) {
+    // The whole frame — engine steps and the hub publish/fan-out — runs
+    // under one causal context, so a post-mortem causal tree hangs this
+    // frame's hub sessions and its md.force_eval spans off the same
+    // campaign/job/replica node.
+    const obs::ContextScope causal_scope(
+        obs::TraceContext::campaign(1).with_job(1).with_replica(0));
+    SPICE_RECORD_SPAN("hub.frame");
     const double now = queue.now();
     FrameSnapshot frame;
     frame.frame_id = frame_id;

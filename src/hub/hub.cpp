@@ -49,6 +49,13 @@ ClientId SteeringHub::connect(double now, net::HostId host, SubscriptionConfig s
   ++connected_;
   obs::metrics().counter("hub.clients_connected").add(1);
   const auto id = static_cast<ClientId>(clients_.size() - 1);
+  // Client id doubles as the causal session id: every recorder event this
+  // session produces links back to the campaign/job/replica that fed it.
+  if (obs::recorder_on()) {
+    obs::flight_recorder().record_at(obs::RecordKind::Mark, "hub.client.connect",
+                                     obs::now_us(), 0.0,
+                                     obs::current_context().with_session(id));
+  }
   // A late joiner syncs immediately if frames are already flowing.
   pump(now, id);
   return id;
@@ -71,6 +78,14 @@ double SteeringHub::publish(double now, FrameSnapshot frame) {
   stats_.sim_publish_cost_s += config_.publish_cost_s;
   static obs::Counter& published = obs::metrics().counter("hub.frames_published");
   published.add(1);
+  // The occupancy gauge feeds the watchdog's band probe: a ring pinned at
+  // capacity (clients not draining) or at zero (producer wedged) alerts.
+  static obs::Gauge& occupancy = obs::metrics().gauge("hub.ring.occupancy");
+  occupancy.set(static_cast<double>(ring_.size()));
+  if (obs::recorder_on()) {
+    obs::flight_recorder().record(obs::RecordKind::Count, "hub.ring.occupancy",
+                                  static_cast<double>(ring_.size()));
+  }
   // Fan-out happens on the hub worker's clock, not the simulation's: the
   // return value — the ring write — is all the sim ever pays.
   for (ClientId id = 0; id < clients_.size(); ++id) pump(now, id);
@@ -131,6 +146,11 @@ void SteeringHub::pump(double now, ClientId client) {
   stats_.bytes_sent += update.bytes;
   static obs::Counter& updates = obs::metrics().counter("hub.updates_sent");
   updates.add(1);
+  if (obs::recorder_on()) {
+    obs::flight_recorder().record_at(obs::RecordKind::Instant, "hub.update_sent",
+                                     obs::now_us(), update.bytes,
+                                     obs::current_context().with_session(client));
+  }
 
   if (!outcome.delivered) {
     // The update died in the network: the client's delta chain is broken
@@ -245,6 +265,12 @@ CommandOutcome SteeringHub::submit_command(double now, ClientId client,
   ++c.stats.commands_accepted;
   ++stats_.commands_accepted;
   obs::metrics().counter("hub.commands_accepted").add(1);
+  if (obs::recorder_on()) {
+    obs::flight_recorder().record_at(obs::RecordKind::Command, "hub.command_accepted",
+                                     obs::now_us(),
+                                     static_cast<double>(stats_.commands_accepted),
+                                     obs::current_context().with_session(client));
+  }
   return CommandOutcome::Applied;
 }
 

@@ -106,6 +106,7 @@ void Engine::remove_contribution(const ForceContribution* contribution) {
 
 void Engine::evaluate_forces_kernels() {
   SPICE_TRACE_SCOPE_CAT("md.force_eval", "md");
+  SPICE_RECORD_SPAN("md.force_eval");
   {
     static obs::Counter& evals = obs::metrics().counter("md.engine.force_evals");
     evals.add(1);

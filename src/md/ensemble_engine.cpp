@@ -45,8 +45,16 @@ void EnsembleEngine::remove_contribution(std::size_t r,
 
 void EnsembleEngine::step_all(std::size_t n) {
   static obs::Counter& steps = obs::metrics().counter("md.ensemble.replica_steps");
-  auto run = [this, n](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) replicas_[r].step(n);
+  // Pool workers start with an empty thread-local context, so the caller's
+  // context is captured here and re-installed (narrowed per replica) inside
+  // each worker — engine spans then carry campaign.job.replica ids.
+  const obs::TraceContext caller_ctx = obs::current_context();
+  auto run = [this, n, caller_ctx](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      obs::ContextScope scope(caller_ctx.with_replica(r));
+      SPICE_RECORD_SPAN("md.ensemble.replica_step");
+      replicas_[r].step(n);
+    }
   };
   if (pool_) {
     pool_->parallel_for(replicas_.size(), run);

@@ -90,6 +90,17 @@ void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
     os << name << "_sum " << fmt_double(h.sum) << "\n";
     os << name << "_count " << h.count << "\n";
   }
+  // Interpolated quantile summary per histogram — precomputed so a reader
+  // (or a dashboard without PromQL) gets p50/p95/p99 directly.
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    const std::string name = prometheus_name(h.name) + "_quantile";
+    os << "# TYPE " << name << " gauge\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      os << name << "{q=\"" << fmt_double(q) << "\"} " << fmt_double(h.quantile(q))
+         << "\n";
+    }
+  }
 }
 
 std::string jsonl_delta_record(const MetricsSnapshot& prev, const MetricsSnapshot& cur,

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace spice::obs {
@@ -41,17 +43,38 @@ void Watchdog::watch_counter(const std::string& name, const Counter& counter,
   entry.last_progress_us = now_us();
 }
 
+void Watchdog::watch_gauge(const std::string& name, const Gauge& gauge, double band_lo,
+                           double band_hi, double deadline_s) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.deadline_s = deadline_s > 0.0 ? deadline_s : config_.default_deadline_s;
+  entry.gauge = &gauge;
+  entry.band_lo = band_lo;
+  entry.band_hi = band_hi;
+  entry.last_progress_us = now_us();
+}
+
 void Watchdog::alert(const Entry& entry, double silent_s) {
-  char msg[192];
-  std::snprintf(msg, sizeof(msg), "watchdog: '%s' stalled — no progress for %.2f s (deadline %.2f s)",
-                entry.name.c_str(), silent_s, entry.deadline_s);
+  char msg[224];
+  if (entry.gauge != nullptr) {
+    std::snprintf(msg, sizeof(msg),
+                  "watchdog: '%s' stalled — gauge %.3g outside [%.3g, %.3g] for %.2f s (deadline %.2f s)",
+                  entry.name.c_str(), entry.gauge->value(), entry.band_lo, entry.band_hi,
+                  silent_s, entry.deadline_s);
+  } else {
+    std::snprintf(msg, sizeof(msg), "watchdog: '%s' stalled — no progress for %.2f s (deadline %.2f s)",
+                  entry.name.c_str(), silent_s, entry.deadline_s);
+  }
   SPICE_WARN(msg);
   alerts_counter_.add(1);
+  flight_recorder().record(RecordKind::Instant, "health.stall");
   if (tracing_on()) {
     if (Tracer* tracer = process_tracer()) {
       tracer->instant("health.stall", "health", now_us(), thread_track(), entry.name);
     }
   }
+  notify_stall_for_post_mortem(entry.name);
 }
 
 void Watchdog::recovered(const Entry& entry) {
@@ -72,6 +95,12 @@ std::size_t Watchdog::poll() {
     double last_progress_us;
     if (entry.heartbeat != nullptr) {
       last_progress_us = entry.heartbeat->last_beat_us();
+    } else if (entry.gauge != nullptr) {
+      const double value = entry.gauge->value();
+      if (value >= entry.band_lo && value <= entry.band_hi) {
+        entry.last_progress_us = now;  // in band = healthy
+      }
+      last_progress_us = entry.last_progress_us;
     } else {
       const std::uint64_t value = entry.counter->value();
       if (value != entry.last_value) {

@@ -10,6 +10,11 @@
 //     (md.engine.steps, pool.parallel_for.calls, ...) and treats "value
 //     unchanged across the deadline" as a stall. The hot path needs no new
 //     instrumentation; whatever already counts progress is the proof.
+//   * Gauge band probe — the watchdog watches an existing obs gauge
+//     (hub.ring.occupancy, queue depths, ...) and treats "value stuck
+//     outside [lo, hi] for the whole deadline window" as a stall: a full
+//     ring that never drains and an empty one that never fills are both
+//     wedged states a counter can't see.
 //
 // The Watchdog polls all registered entries — manually (poll(), for
 // deterministic tests and single-threaded drivers) or from a background
@@ -86,6 +91,13 @@ class Watchdog {
   void watch_counter(const std::string& name, const Counter& counter,
                      double deadline_s = 0.0);
 
+  /// Watch an existing gauge: healthy = value inside [band_lo, band_hi]
+  /// (inclusive). The entry stalls when the value sits outside the band
+  /// continuously for the deadline window; one sample back in band
+  /// re-arms it. `gauge` must outlive the watchdog (registry handles do).
+  void watch_gauge(const std::string& name, const Gauge& gauge, double band_lo,
+                   double band_hi, double deadline_s = 0.0);
+
   /// Check every entry once; fires edge-triggered alerts for new stalls.
   /// Returns the number of alerts fired by this poll.
   std::size_t poll();
@@ -104,11 +116,15 @@ class Watchdog {
     double deadline_s = 0.0;
     bool stalled = false;
     std::uint64_t alerts = 0;
-    // Heartbeat entries own the handle; counter entries watch `counter`.
+    // Heartbeat entries own the handle; counter entries watch `counter`;
+    // gauge entries watch `gauge` against [band_lo, band_hi].
     std::unique_ptr<Heartbeat> heartbeat;
     const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    double band_lo = 0.0;              ///< gauge entries
+    double band_hi = 0.0;              ///< gauge entries
     std::uint64_t last_value = 0;      ///< counter entries
-    double last_progress_us = 0.0;     ///< counter entries
+    double last_progress_us = 0.0;     ///< counter + gauge entries
   };
 
   void alert(const Entry& entry, double silent_s);

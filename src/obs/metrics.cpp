@@ -128,6 +128,28 @@ void Histogram::reset() {
   sum_bits_.store(0, std::memory_order_relaxed);
 }
 
+double HistogramSample::quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank || in_bucket == 0) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket has no upper edge; clamp to the highest bound.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double below = static_cast<double>(cumulative - in_bucket);
+    const double frac = (rank - below) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
   for (const auto& c : counters) {
     if (c.name == name) return c.value;

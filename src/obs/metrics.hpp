@@ -160,6 +160,14 @@ struct HistogramSample {
   double sum = 0.0;
 
   [[nodiscard]] double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Interpolated quantile estimate (Prometheus `histogram_quantile`
+  /// style): find the bucket holding rank q·count, interpolate linearly
+  /// inside it assuming uniform spread; the first bucket's lower edge is
+  /// taken as 0 and the overflow bucket clamps to the highest bound, so
+  /// the estimate never invents values outside the configured range.
+  /// Returns 0 when the histogram is empty. `q` is clamped to [0, 1].
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.

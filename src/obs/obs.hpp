@@ -6,12 +6,19 @@
 //   * SPICE_TRACE_SCOPE(...)   wall-clock spans on the process tracer
 //   * obs::Tracer              Chrome trace-event sink (real or DES clock)
 //   * obs::SnapshotExporter    periodic Prometheus + JSONL file export
-//   * obs::Watchdog            heartbeat/counter stall alerts
-//   * obs::set_*_enabled(...)  runtime kill switches (all default OFF)
+//   * obs::Watchdog            heartbeat/counter/gauge stall alerts
+//   * SPICE_RECORD_SPAN(...)   always-on flight recorder (default ON)
+//   * obs::TraceContext        causal ids threaded campaign → session
+//   * obs::arm_post_mortem     crash/stall dump of the flight recorder
+//   * obs::set_*_enabled(...)  runtime kill switches (metrics/tracing
+//                              default OFF; the recorder defaults ON)
 //
 // Build with -DSPICE_OBS=OFF to compile the instrumentation out entirely.
 
+#include "obs/context.hpp"
 #include "obs/export.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <ostream>
@@ -78,17 +79,41 @@ void Tracer::set_track_name(std::uint32_t track, const std::string& name) {
 }
 
 void Tracer::push(TraceEvent event) {
+  event.ctx = current_context().bits;
   std::lock_guard lock(mutex_);
   if (event_limit_ != 0 && events_.size() >= event_limit_) {
     ++dropped_;
+    if (drop_policy_ == DropPolicy::KeepOldest) return;
+    // KeepNewest: overwrite the oldest resident event ring-style.
+    events_[ring_start_] = std::move(event);
+    ring_start_ = (ring_start_ + 1) % events_.size();
     return;
   }
   events_.push_back(std::move(event));
 }
 
+void Tracer::unrotate_locked() {
+  if (ring_start_ == 0) return;
+  std::rotate(events_.begin(),
+              events_.begin() + static_cast<std::ptrdiff_t>(ring_start_), events_.end());
+  ring_start_ = 0;
+}
+
 void Tracer::set_event_limit(std::size_t max_events) {
   std::lock_guard lock(mutex_);
+  unrotate_locked();  // re-anchor the ring so a new limit starts clean
   event_limit_ = max_events;
+}
+
+void Tracer::set_drop_policy(DropPolicy policy) {
+  std::lock_guard lock(mutex_);
+  unrotate_locked();
+  drop_policy_ = policy;
+}
+
+DropPolicy Tracer::drop_policy() const {
+  std::lock_guard lock(mutex_);
+  return drop_policy_;
 }
 
 std::size_t Tracer::dropped_count() const {
@@ -131,7 +156,12 @@ std::size_t Tracer::event_count() const {
 
 std::vector<TraceEvent> Tracer::events() const {
   std::lock_guard lock(mutex_);
-  return events_;
+  std::vector<TraceEvent> out = events_;
+  if (ring_start_ != 0) {
+    std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(ring_start_),
+                out.end());
+  }
+  return out;
 }
 
 void Tracer::write_json(std::ostream& os) const {
@@ -154,7 +184,10 @@ void Tracer::write_json(std::ostream& os) const {
     write_json_string(os, track_names_[t]);
     os << "}}";
   }
-  for (const TraceEvent& e : events_) {
+  // Iterate in chronological order (ring_start_ is the oldest resident
+  // event once a KeepNewest ring has wrapped).
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[(ring_start_ + i) % events_.size()];
     sep();
     os << "{\"name\":";
     write_json_string(os, e.name);
@@ -167,17 +200,28 @@ void Tracer::write_json(std::ostream& os) const {
     if (e.phase == 'i') os << ",\"s\":\"t\"";
     if (e.phase == 'C') {
       os << ",\"args\":{\"value\":" << e.value << "}";
-    } else if (!e.detail.empty()) {
-      os << ",\"args\":{\"detail\":";
-      write_json_string(os, e.detail);
+    } else {
+      os << ",\"args\":{";
+      if (!e.detail.empty()) {
+        os << "\"detail\":";
+        write_json_string(os, e.detail);
+        os << ",";
+      }
+      os << "\"ctx\":";
+      write_json_string(os, TraceContext{e.ctx}.to_string());
       os << "}";
     }
     os << "}";
   }
   if (dropped_ > 0) {
+    // The marker names the policy that ran, so a reader knows which end
+    // of the timeline the missing events fell off.
+    const char* policy = drop_policy_ == DropPolicy::KeepOldest
+                             ? "keep-oldest: newest dropped"
+                             : "keep-newest: oldest overwritten";
     sep();
-    os << R"({"name":"trace buffer full: )" << dropped_
-       << R"( events dropped","cat":"obs","ph":"i","ts":0,"pid":1,"tid":0,"s":"g"})";
+    os << R"({"name":"trace buffer full: )" << dropped_ << " events dropped (" << policy
+       << R"x()","cat":"obs","ph":"i","ts":0,"pid":1,"tid":0,"s":"g"})x";
   }
   os << "\n]}\n";
 }

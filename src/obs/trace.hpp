@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"  // kill switches + now_us
 
 namespace spice::obs {
@@ -46,6 +47,20 @@ struct TraceEvent {
   std::uint64_t id = 0;     ///< 'b'/'e' pairing key
   double value = 0.0;       ///< 'C' only
   std::string detail;       ///< optional args.detail annotation
+  /// Causal context bits (obs/context.hpp), stamped from the emitting
+  /// thread's current_context() at push time; 0 = no context.
+  std::uint64_t ctx = 0;
+};
+
+/// What to do when the event buffer hits its set_event_limit() cap.
+enum class DropPolicy {
+  /// First-N retention (default): keep startup + steady-state onset,
+  /// count later events as dropped.
+  KeepOldest,
+  /// Ring retention: overwrite the oldest event so the buffer always
+  /// holds the most recent N — the right policy when the interesting
+  /// part is the end of the run (incident traces).
+  KeepNewest,
 };
 
 class Tracer {
@@ -76,10 +91,14 @@ class Tracer {
   void counter(std::string_view name, double ts_us, double value, std::uint32_t track = 0);
 
   /// Cap the event buffer: once `max_events` are recorded, further events
-  /// are counted in dropped_count() but not stored (first-N retention —
-  /// long sessions keep their startup and steady-state onset rather than
-  /// an arbitrary recent window). 0 = unlimited (the default).
+  /// are handled per the drop policy — KeepOldest (default) counts them in
+  /// dropped_count() without storing; KeepNewest overwrites the oldest
+  /// event ring-style so the buffer holds the most recent N. 0 = unlimited
+  /// (the default).
   void set_event_limit(std::size_t max_events);
+  void set_drop_policy(DropPolicy policy);
+  [[nodiscard]] DropPolicy drop_policy() const;
+  /// Events not resident due to the cap (not stored, or overwritten).
   [[nodiscard]] std::size_t dropped_count() const;
 
   [[nodiscard]] std::size_t event_count() const;
@@ -93,6 +112,8 @@ class Tracer {
 
  private:
   void push(TraceEvent event);
+  /// Rotate events_ back to chronological order (KeepNewest ring).
+  void unrotate_locked();
 
   mutable std::mutex mutex_;
   std::string process_name_;
@@ -101,6 +122,10 @@ class Tracer {
   std::uint32_t next_track_ = 1;          ///< 0 = default/unnamed track
   std::size_t event_limit_ = 0;           ///< 0 = unlimited
   std::size_t dropped_ = 0;
+  DropPolicy drop_policy_ = DropPolicy::KeepOldest;
+  /// KeepNewest ring cursor: index of the oldest resident event once the
+  /// buffer is full (events_ is chronologically rotated by this much).
+  std::size_t ring_start_ = 0;
 };
 
 // --- process tracer -------------------------------------------------------

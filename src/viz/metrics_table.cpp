@@ -36,4 +36,26 @@ Table histogram_table(const spice::obs::HistogramSample& histogram) {
   return table;
 }
 
+Table histogram_summary_table(const spice::obs::MetricsSnapshot& snapshot) {
+  std::vector<std::string> columns;
+  std::vector<double> row;
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    columns.push_back(h.name + ".count");
+    row.push_back(static_cast<double>(h.count));
+    columns.push_back(h.name + ".mean");
+    row.push_back(h.mean());
+    columns.push_back(h.name + ".p50");
+    row.push_back(h.quantile(0.5));
+    columns.push_back(h.name + ".p95");
+    row.push_back(h.quantile(0.95));
+    columns.push_back(h.name + ".p99");
+    row.push_back(h.quantile(0.99));
+  }
+  if (columns.empty()) columns.push_back("(no histograms)"), row.push_back(0.0);
+  Table table(std::move(columns));
+  table.add_row(row);
+  return table;
+}
+
 }  // namespace spice::viz

@@ -16,4 +16,11 @@ namespace spice::viz {
 /// an infinite upper bound (exported as null by write_json).
 [[nodiscard]] Table histogram_table(const spice::obs::HistogramSample& histogram);
 
+/// Every histogram in the snapshot as one wide single-row summary
+/// (same shape as metrics_scalar_table): columns `<name>.count`,
+/// `<name>.mean`, `<name>.p50`, `<name>.p95`, `<name>.p99`, quantiles via
+/// HistogramSample::quantile — the at-a-glance latency table for reports.
+/// Empty histograms are skipped.
+[[nodiscard]] Table histogram_summary_table(const spice::obs::MetricsSnapshot& snapshot);
+
 }  // namespace spice::viz
