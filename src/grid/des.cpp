@@ -1,6 +1,7 @@
 #include "grid/des.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -231,10 +232,73 @@ bool EventQueue::advance() {
   }
 }
 
+EventQueue::Entry EventQueue::choose_tied_entry() {
+  tie_scratch_.clear();
+  if (backend_ == Backend::BinaryHeap) {
+    // The front is the earliest live entry (advance_heap just said so);
+    // equal-time siblings can sit anywhere in the heap, so scan for them.
+    const double t = heap_.front().time;
+    for (const Entry& e : heap_) {
+      if (e.time == t && entry_live(e)) tie_scratch_.push_back(e);
+    }
+    std::sort(tie_scratch_.begin(), tie_scratch_.end(), earlier);
+  } else {
+    // The current bucket is sorted past the cursor, so the tie group is
+    // the contiguous live run sharing the front timestamp. Equal-time
+    // entries never hide in later buckets: a bucket behind the cursor is
+    // already cleared, and inserts mapping at-or-behind it land in the
+    // current bucket.
+    const auto& bucket = buckets_[cur_bucket_];
+    const double t = bucket[bucket_pos_].time;
+    for (std::size_t i = bucket_pos_; i < bucket.size(); ++i) {
+      const Entry& e = bucket[i];
+      if (e.time != t) break;
+      if (entry_live(e)) tie_scratch_.push_back(e);
+    }
+  }
+  std::size_t k = 0;
+  if (tie_scratch_.size() > 1) {
+    k = hook_->pick_tie(tie_scratch_.front().time, tie_scratch_.size());
+    SPICE_ENSURE(k < tie_scratch_.size(), "schedule hook picked outside the tie group");
+  }
+  return tie_scratch_[k];
+}
+
+std::uint64_t EventQueue::fingerprint() const {
+  std::vector<double> times;
+  times.reserve(live_);
+  const auto visit = [&](const Entry& e) {
+    if (entry_live(e)) times.push_back(e.time);
+  };
+  if (backend_ == Backend::BinaryHeap) {
+    for (const Entry& e : heap_) visit(e);
+  } else {
+    for (const auto& bucket : buckets_) {
+      for (const Entry& e : bucket) visit(e);
+    }
+    for (const Entry& e : overflow_) visit(e);
+  }
+  std::sort(times.begin(), times.end());
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(std::bit_cast<std::uint64_t>(now_));
+  mix(times.size());
+  for (const double t : times) mix(std::bit_cast<std::uint64_t>(t));
+  return h;
+}
+
 bool EventQueue::step() {
   if (!advance()) return false;
   Entry e;
-  if (backend_ == Backend::BinaryHeap) {
+  if (hook_ != nullptr) {
+    // Tie-aware path: the chosen entry stays in its container; free_slot
+    // below bumps its generation, so the container copy dies like a
+    // cancelled event when its position is reached.
+    e = choose_tied_entry();
+  } else if (backend_ == Backend::BinaryHeap) {
     const auto later = [](const Entry& a, const Entry& b) { return earlier(b, a); };
     e = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), later);

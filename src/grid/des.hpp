@@ -29,6 +29,30 @@ namespace spice::grid {
 using EventToken = std::uint64_t;
 inline constexpr EventToken kInvalidToken = 0;
 
+/// Interception seam for enumerable nondeterminism. Components with a
+/// bounded random choice (fault-injector draws, backoff jitter, the
+/// RoundRobin start offset) route it through an installed oracle, which
+/// returns an index in [0, n). Production code leaves oracles unset and
+/// keeps its seeded RNG draws; the grid/mc explorer installs one and
+/// enumerates every branch. `tag` names the choice point for replay
+/// diagnostics and must be a string with static storage duration.
+class ChoiceOracle {
+ public:
+  virtual ~ChoiceOracle() = default;
+  virtual std::size_t choose(const char* tag, std::size_t n) = 0;
+};
+
+/// Same-timestamp scheduling seam. Events at equal times normally fire in
+/// scheduling (seq) order; with a hook installed, step() reports each tie
+/// group — all live events sharing the earliest pending timestamp — and
+/// fires the member the hook picks. Index 0 is the seq-order head, so a
+/// hook returning 0 reproduces the default schedule exactly.
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+  virtual std::size_t pick_tie(double time, std::size_t group_size) = 0;
+};
+
 class EventQueue {
  public:
   using Handler = std::function<void()>;
@@ -46,6 +70,20 @@ class EventQueue {
   /// hour renders as one hour in Perfetto. Not owned; nullptr detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Install a same-timestamp permutation hook (nullptr detaches). Not
+  /// owned. With no hook the tie-group machinery is never touched and
+  /// step() keeps its plain O(1) pop.
+  void set_schedule_hook(ScheduleHook* hook) { hook_ = hook; }
+  [[nodiscard]] ScheduleHook* schedule_hook() const { return hook_; }
+
+  /// Deterministic digest of the pending-event set: now() plus the sorted
+  /// multiset of live event timestamps. Sequence numbers and slot indices
+  /// are deliberately excluded — they differ between interleavings that
+  /// reach otherwise identical states, which would defeat the grid/mc
+  /// explorer's stateful-hash pruning. What a pending event *does* is
+  /// covered by the JobTable/Site fingerprints of the surrounding world.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// Schedule `handler` at absolute time `t` (hours). Must not be in the
   /// past relative to now(). The returned token may be ignored, or kept to
@@ -113,6 +151,12 @@ class EventQueue {
   /// rebuilds exhausted epochs) but never changes fire order.
   bool advance();
   bool advance_heap();
+  /// Hook path: collect the live entries tied at the earliest pending
+  /// timestamp (seq order) and return the one the hook picks. The chosen
+  /// entry is NOT removed from its container — the caller frees its slot,
+  /// which bumps the generation, and the stale container entry is skipped
+  /// for free later exactly like a cancelled event.
+  [[nodiscard]] Entry choose_tied_entry();
   /// Rebuild buckets around the pending entries (new epoch start, bucket
   /// count and width chosen from the live distribution).
   void rebuild(double from_time);
@@ -121,6 +165,8 @@ class EventQueue {
 
   Backend backend_;
   obs::Tracer* tracer_ = nullptr;
+  ScheduleHook* hook_ = nullptr;
+  std::vector<Entry> tie_scratch_;  ///< choose_tied_entry scratch
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

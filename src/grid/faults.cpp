@@ -1,10 +1,25 @@
 #include "grid/faults.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
 
 namespace spice::grid {
+
+double FaultInjector::draw_exponential(Rng& rng, double mean, const char* tag) const {
+  if (config_.oracle == nullptr) return rng.exponential(mean);
+  // Enumerable draw: branch over mid-quantile points of Exp(mean). The
+  // seeded stream is still advanced so mixing oracle and seeded runs of
+  // the same config stays stream-compatible elsewhere.
+  rng.exponential(mean);
+  SPICE_REQUIRE(config_.oracle_draw_levels >= 1, "need at least one draw level");
+  const auto levels = static_cast<std::size_t>(config_.oracle_draw_levels);
+  const std::size_t k = config_.oracle->choose(tag, levels);
+  const double p = (static_cast<double>(k) + 0.5) / static_cast<double>(levels);
+  return -mean * std::log(1.0 - p);
+}
 
 FaultInjector::FaultInjector(Federation& federation, FaultConfig config)
     : federation_(federation), config_(std::move(config)) {
@@ -37,7 +52,8 @@ std::size_t FaultInjector::arm() {
       site_rngs_.reserve(sites.size());
       for (std::size_t i = 0; i < sites.size(); ++i) {
         site_rngs_.push_back(Rng::stream(config_.seed, 0x6661756c74ULL /*"fault"*/, i));
-        const double t = site_rngs_.back().exponential(config_.site_mtbf_hours);
+        const double t =
+            draw_exponential(site_rngs_.back(), config_.site_mtbf_hours, "fault.gap");
         if (t < config_.horizon_hours) {
           events.at(t, [this, i] { fire_random(i); });
           ++lazy_armed;
@@ -46,11 +62,12 @@ std::size_t FaultInjector::arm() {
     } else {
       for (std::size_t i = 0; i < sites.size(); ++i) {
         Rng rng = Rng::stream(config_.seed, 0x6661756c74ULL /*"fault"*/, i);
-        double t = rng.exponential(config_.site_mtbf_hours);
+        double t = draw_exponential(rng, config_.site_mtbf_hours, "fault.gap");
         while (t < config_.horizon_hours) {
-          const double duration = rng.exponential(config_.mean_outage_hours);
+          const double duration =
+              draw_exponential(rng, config_.mean_outage_hours, "fault.len");
           outages_.push_back({sites[i]->name(), t, duration});
-          t += duration + rng.exponential(config_.site_mtbf_hours);
+          t += duration + draw_exponential(rng, config_.site_mtbf_hours, "fault.gap");
         }
       }
     }
@@ -73,14 +90,15 @@ std::size_t FaultInjector::arm() {
 void FaultInjector::fire_random(std::size_t site_index) {
   EventQueue& events = federation_.events();
   Rng& rng = site_rngs_[site_index];
-  const double duration = rng.exponential(config_.mean_outage_hours);
+  const double duration = draw_exponential(rng, config_.mean_outage_hours, "fault.len");
   // A longer outage may already hold the site; fail_until keeps the
   // later end (same semantics as the eager path).
   federation_.sites()[site_index]->fail_until(events.now() + duration);
   // Parenthesized exactly like the eager path's `t += duration + gap`, so
   // both modes produce bit-identical outage times.
   const double next =
-      events.now() + (duration + rng.exponential(config_.site_mtbf_hours));
+      events.now() +
+      (duration + draw_exponential(rng, config_.site_mtbf_hours, "fault.gap"));
   if (next < config_.horizon_hours) {
     events.at(next, [this, site_index] { fire_random(site_index); });
   }

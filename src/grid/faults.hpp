@@ -56,6 +56,16 @@ struct FaultConfig {
   bool lazy_arming = false;
   std::vector<NetworkDegradation> degradation;
 
+  /// grid/mc seam (not owned, may be null): with an oracle installed the
+  /// random failure/repair process stops drawing from the seeded
+  /// exponential streams and instead branches over `oracle_draw_levels`
+  /// quantiles of each draw (gap to next failure, outage duration), so a
+  /// bounded scenario's whole fault-schedule space is enumerable. Must
+  /// outlive arm() (and, under lazy_arming, the queue's run).
+  ChoiceOracle* oracle = nullptr;
+  /// Quantile count enumerated per exponential draw under an oracle (≥ 1).
+  int oracle_draw_levels = 2;
+
   [[nodiscard]] bool enabled() const {
     return site_mtbf_hours > 0.0 || !scheduled.empty() || !degradation.empty();
   }
@@ -83,6 +93,9 @@ class FaultInjector {
  private:
   /// Lazy mode: inject site i's next random outage and reschedule.
   void fire_random(std::size_t site_index);
+  /// One exponential draw: the site stream's sample, or an oracle-chosen
+  /// quantile of the same distribution when a grid/mc oracle is set.
+  [[nodiscard]] double draw_exponential(Rng& rng, double mean, const char* tag) const;
 
   Federation& federation_;
   FaultConfig config_;

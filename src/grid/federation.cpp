@@ -96,6 +96,21 @@ double RetryPolicy::delay_hours(JobId job, int attempt) const {
   return delay * (1.0 - jitter_fraction + 2.0 * jitter_fraction * unit);
 }
 
+double RetryPolicy::delay_hours(JobId job, int attempt, ChoiceOracle* oracle) const {
+  if (oracle == nullptr || jitter_fraction <= 0.0) return delay_hours(job, attempt);
+  SPICE_REQUIRE(attempt >= 1, "retry attempts count from 1");
+  SPICE_REQUIRE(oracle_jitter_levels >= 1, "need at least one jitter level");
+  double delay = base_backoff_hours;
+  for (int a = 1; a < attempt && delay < max_backoff_hours; ++a) delay *= backoff_factor;
+  delay = std::min(delay, max_backoff_hours);
+  // Enumerable jitter: the oracle picks one of `oracle_jitter_levels`
+  // mid-quantile points of the seeded draw's uniform [0, 1) range.
+  const auto levels = static_cast<std::size_t>(oracle_jitter_levels);
+  const std::size_t k = oracle->choose("retry.jitter", levels);
+  const double unit = (static_cast<double>(k) + 0.5) / static_cast<double>(levels);
+  return delay * (1.0 - jitter_fraction + 2.0 * jitter_fraction * unit);
+}
+
 std::uint32_t Broker::trace_track() {
   obs::Tracer* tracer = federation_.events().tracer();
   if (tracer == nullptr) return 0;
@@ -130,6 +145,14 @@ void Broker::submit_all() {
   SPICE_REQUIRE(!submitted_, "campaign already submitted");
   submitted_ = true;
   result_.submit_time = federation_.events().now();
+  // Under an oracle the RoundRobin rotation's starting site is a choice
+  // point: production runs always start at 0, but nothing about the
+  // invariants may depend on the phase, so grid/mc enumerates it.
+  if (config_.oracle != nullptr && config_.policy == BrokerPolicy::RoundRobin &&
+      federation_.sites().size() > 1) {
+    round_robin_next_ =
+        config_.oracle->choose("broker.rr_offset", federation_.sites().size());
+  }
   const std::size_t n = config_.jobs.empty() ? config_.job_count : config_.jobs.size();
   result_.requested = n;
   result_.completion_floor = config_.completion_floor;
@@ -245,8 +268,8 @@ void Broker::hold(JobRow row) {
   result_.held_dispatches += 1;
   table.set_state(row, RowState::Held);
   table.site(row) = kNoSite;
-  const double delay =
-      config_.retry.delay_hours(table.id(row), table.requeues(row) + table.holds(row));
+  const double delay = config_.retry.delay_hours(
+      table.id(row), table.requeues(row) + table.holds(row), config_.oracle);
   {
     static obs::Counter& holds = obs::metrics().counter("grid.broker.holds");
     holds.add(1);
@@ -367,7 +390,8 @@ void Broker::on_row_done(JobRow row) {
   const SiteId failed_site = table.site(row);
   // Claiming the row (Failed → Backoff) keeps it alive past the fan-out.
   table.set_state(row, RowState::Backoff);
-  const double delay = config_.retry.delay_hours(table.id(row), table.requeues(row));
+  const double delay =
+      config_.retry.delay_hours(table.id(row), table.requeues(row), config_.oracle);
   table.event_token(row) =
       federation_.events().after(delay, [this, row, failed_site] {
         federation_.jobs().set_state(row, RowState::Pending);

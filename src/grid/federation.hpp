@@ -98,6 +98,17 @@ struct RetryPolicy {
 
   /// Deterministic delay for a job's attempt-th retry (attempt ≥ 1).
   [[nodiscard]] double delay_hours(JobId job, int attempt) const;
+
+  /// Oracle-aware variant: with an oracle installed and jitter enabled,
+  /// the continuous jitter draw becomes an enumerable choice among
+  /// `oracle_jitter_levels` evenly spaced quantiles of the jitter range,
+  /// so grid/mc can branch over every retry timing class. Falls back to
+  /// the seeded draw when `oracle` is null; with jitter_fraction == 0
+  /// there is no nondeterminism and no choice point is consumed.
+  [[nodiscard]] double delay_hours(JobId job, int attempt, ChoiceOracle* oracle) const;
+
+  /// Jitter quantile count enumerated per retry under an oracle (≥ 1).
+  int oracle_jitter_levels = 2;
 };
 
 struct CampaignConfig {
@@ -123,6 +134,11 @@ struct CampaignConfig {
   /// finished_jobs). Default on for API compatibility; scale campaigns
   /// turn it off and read the streaming accumulators instead.
   bool keep_finished_jobs = true;
+  /// grid/mc seam (not owned, may be null): routes the broker's
+  /// nondeterministic choices — backoff jitter and the RoundRobin start
+  /// offset — through the explorer so every branch is enumerable. Must
+  /// outlive the broker when set.
+  ChoiceOracle* oracle = nullptr;
 };
 
 struct CampaignResult {
@@ -190,6 +206,9 @@ class Broker {
   [[nodiscard]] std::size_t held_count() const {
     return federation_.jobs().count(RowState::Held);
   }
+  /// Next RoundRobin rotation position (grid/mc fingerprints this: two
+  /// states differing only in rotation phase schedule differently).
+  [[nodiscard]] std::size_t round_robin_cursor() const { return round_robin_next_; }
 
  private:
   [[nodiscard]] Site* choose_site(JobRow row, SiteId exclude);

@@ -1,5 +1,8 @@
 #include "grid/job_table.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/error.hpp"
 
 namespace spice::grid {
@@ -187,6 +190,49 @@ Job JobTable::materialize(JobRow row) const {
   job.consumed_cpu_hours = consumed_cpu_[row];
   job.wasted_cpu_hours = wasted_cpu_[row];
   return job;
+}
+
+std::uint64_t JobTable::fingerprint() const {
+  constexpr std::uint64_t kBasis = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  const auto mix = [](std::uint64_t h, std::uint64_t v) { return (h ^ v) * kPrime; };
+  const auto mix_double = [&mix](std::uint64_t h, double v) {
+    return mix(h, std::bit_cast<std::uint64_t>(v));
+  };
+  // Per-row digests, combined order-independently via a sorted vector.
+  std::vector<std::uint64_t> digests;
+  digests.reserve(live_);
+  for (JobRow row = 0; row < id_.size(); ++row) {
+    if (state_[row] == RowState::Free) continue;
+    std::uint64_t h = kBasis;
+    h = mix(h, id_[row]);
+    h = mix(h, static_cast<std::uint64_t>(state_[row]));
+    h = mix(h, static_cast<std::uint64_t>(kind_[row]));
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(site_[row])));
+    h = mix(h, static_cast<std::uint64_t>(requeues_[row]));
+    h = mix(h, static_cast<std::uint64_t>(holds_[row]));
+    h = mix(h, event_token_[row] != 0 ? 1 : 0);
+    h = mix_double(h, submit_time_[row]);
+    h = mix_double(h, start_time_[row]);
+    h = mix_double(h, end_time_[row]);
+    h = mix_double(h, completed_fraction_[row]);
+    h = mix_double(h, consumed_cpu_[row]);
+    h = mix_double(h, wasted_cpu_[row]);
+    digests.push_back(h);
+  }
+  std::sort(digests.begin(), digests.end());
+  std::uint64_t h = kBasis;
+  for (const std::uint64_t d : digests) h = mix(h, d);
+  // List order per state (skip Free: recycling order is interleaving
+  // noise with no behavioral meaning).
+  for (std::size_t s = 0; s < kRowStates; ++s) {
+    if (s == static_cast<std::size_t>(RowState::Free)) continue;
+    h = mix(h, 0x6c697374ULL /*"list"*/ + s);
+    for (JobRow row = head_[s]; row != kNoRow; row = next_[row]) {
+      h = mix(h, id_[row]);
+    }
+  }
+  return h;
 }
 
 std::size_t JobTable::bytes_per_row() {

@@ -114,6 +114,15 @@ class JobTable {
   /// last failure reason as a " [reason]" suffix when one is recorded.
   [[nodiscard]] Job materialize(JobRow row) const;
 
+  /// Deterministic digest of the live rows for grid/mc's stateful-hash
+  /// pruning: per-row field digests combined order-independently (row
+  /// indices recycle in interleaving-dependent order and must not leak
+  /// into the hash), plus the head→tail order of every per-state list
+  /// (queue/held order IS behaviorally significant). Event-token values
+  /// are reduced to a set/unset bit for the same reason as row indices
+  /// (slot numbers recycle); times and CPU accounting hash bit-exactly.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   [[nodiscard]] std::size_t live_rows() const { return live_; }
   /// High-water mark of simultaneously live rows — the table's O(active)
   /// memory evidence for bench/grid_scale.

@@ -1,0 +1,62 @@
+#pragma once
+// Pluggable broker invariants for the grid/mc explorer.
+//
+// A checker is created fresh per trace (it may hold per-trace state and
+// register federation listeners), probed after every fired event, and
+// given a final pass when the trace drains. Violations are reported as
+// strings appended to the caller's list; the explorer wraps them with the
+// checker name, trace id and the choice stack that reproduces them.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/mc/scenarios.hpp"
+
+namespace spice::grid::mc {
+
+class InvariantChecker {
+ public:
+  virtual ~InvariantChecker() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Called once after the world is built (register listeners here).
+  virtual void on_trace_begin(ScenarioWorld& world) { (void)world; }
+  /// Called after every fired event, with the world quiescent.
+  virtual void check_step(ScenarioWorld& world, std::vector<std::string>& out) {
+    (void)world;
+    (void)out;
+  }
+  /// Called when the queue drains (skipped for truncated/pruned traces).
+  virtual void check_end(ScenarioWorld& world, std::vector<std::string>& out) {
+    (void)world;
+    (void)out;
+  }
+};
+
+using CheckerFactory = std::function<std::unique_ptr<InvariantChecker>()>;
+
+/// The standard broker invariant set:
+///  - job-conservation: no lost or double-completed jobs — every campaign
+///    job reaches exactly one terminal outcome, completed + permanently
+///    failed == requested, and the drained queue implies done().
+///  - cpu-conservation: credited + wasted == consumed CPU-hours, per
+///    completed job and across the campaign result; completed jobs with
+///    positive runtime banked credited work.
+///  - run-token-monotone: each job id lives on at most one row;
+///    Running/Held/Backoff rows hold a pending event token while
+///    Pending/Queued rows hold none; requeue and hold counts never
+///    decrease; a completed run spans positive wall-clock.
+///  - held-backoff-timers: every Held and Backoff row owns a live,
+///    mutually distinct backoff/hold timer (recovery releases must cancel
+///    the loser, never share or leak it).
+std::vector<CheckerFactory> default_checkers();
+
+/// Scenario add-on: each named site's recovery callback must fire exactly
+/// the expected number of times over the whole trace (overlapping outages
+/// merge into one window ⇒ one recovery), and never while the site is
+/// still in outage.
+CheckerFactory recovery_count_checker(std::map<std::string, int> expected);
+
+}  // namespace spice::grid::mc

@@ -1,6 +1,7 @@
 #include "grid/site.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -177,6 +178,14 @@ void Site::start_row(JobRow row) {
 }
 
 void Site::finish_row(JobRow row) {
+  if (inject_stale_finish_bug_) {
+    // Pre-PR-2 guard: a finish for a row no longer running here is
+    // dropped by STATE alone. Nothing distinguishes a stale event from a
+    // live one once the same row is running on this site again — that is
+    // the re-introduced bug (memory-safe: rows stay valid; behaviorally
+    // wrong: a stale event can complete a fresh attempt early).
+    if (table_->state(row) != RowState::Running || table_->site(row) != id_) return;
+  }
   // O(1) removal: the row carries its running_ index; fix up the entry
   // swapped into its place.
   const std::uint32_t idx = table_->running_index(row);
@@ -302,7 +311,10 @@ void Site::fail_until(double until) {
   running_end_work_ = 0.0;
   running_procs_ = 0;
   for (const auto& r : dead) {
-    events_.cancel(table_->event_token(r.row));
+    // Mutation mode leaves the killed attempt's finish event armed (the
+    // pre-PR-2 behavior); the finish_row state guard is then the only
+    // defence against it.
+    if (!inject_stale_finish_bug_) events_.cancel(table_->event_token(r.row));
     table_->event_token(r.row) = kInvalidToken;
     const int procs = table_->processors(r.row);
     free_procs_ += procs;
@@ -337,6 +349,33 @@ void Site::fail_until(double until) {
     if (on_recovered_) on_recovered_();
     dispatch();
   });
+}
+
+std::uint64_t Site::fingerprint() const {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * kPrime; };
+  const auto mix_double = [&mix](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(id_)));
+  mix(static_cast<std::uint64_t>(free_procs_));
+  mix_double(outage_until_);
+  mix_double(busy_proc_hours_);
+  mix_double(queued_work_);
+  mix(queue_.size());
+  for (const JobRow row : queue_) mix(table_->id(row));
+  // Running-set membership sorted by job id: the running_ vector's order
+  // only encodes swap-remove history, which interleavings permute freely.
+  std::vector<std::pair<JobId, double>> running;
+  running.reserve(running_.size());
+  for (const auto& r : running_) running.emplace_back(table_->id(r.row), r.end_time);
+  std::sort(running.begin(), running.end());
+  mix(running.size());
+  for (const auto& [id, end] : running) {
+    mix(id);
+    mix_double(end);
+  }
+  mix(reservations_.size());
+  return h;
 }
 
 }  // namespace spice::grid

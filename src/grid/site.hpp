@@ -110,6 +110,21 @@ class Site {
   [[nodiscard]] double backlog_hours() const;
   [[nodiscard]] const std::vector<Reservation>& reservations() const { return reservations_; }
 
+  /// Deterministic digest of the scheduler-visible site state (free
+  /// processors, outage window, queue order, running set, accumulators)
+  /// for grid/mc's stateful-hash pruning.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// MUTATION SWITCH (grid/mc sensitivity demo only): re-introduce the
+  /// pre-PR-2 stale-finish-event bug. An outage stops cancelling the
+  /// finish events of the jobs it kills, and finish_row falls back to the
+  /// old state-based guard — which cannot tell a stale finish from a live
+  /// one once the SAME row is re-dispatched to this site. The explorer
+  /// must find the interleaving where that completes a re-run attempt at
+  /// zero wall-clock; seeded sweeps miss it (tie order is seq-determined,
+  /// so no seed changes it).
+  void set_inject_stale_finish_bug(bool on) { inject_stale_finish_bug_ = on; }
+
  private:
   struct Running {
     JobRow row;
@@ -150,6 +165,7 @@ class Site {
   std::vector<Running> running_;
   std::vector<Reservation> reservations_;
   double outage_until_ = -1.0;
+  bool inject_stale_finish_bug_ = false;
   double busy_proc_hours_ = 0.0;
   double queued_work_ = 0.0;  ///< Σ queued_work_of(row) over queue_
   /// Running-work accumulators for the O(1) backlog: Σ procs × end_time

@@ -43,6 +43,13 @@
 #include "obs/obs.hpp"
 #include "testkit/golden.hpp"
 
+// Post-mortem dumps land under the build tree (set by tests/CMakeLists.txt),
+// never the source tree — running the binary from the repo root must not
+// litter it with output files.
+#ifndef SPICE_OUTPUT_DIR
+#define SPICE_OUTPUT_DIR "."
+#endif
+
 namespace {
 
 using namespace spice;
@@ -369,7 +376,7 @@ TEST(PostMortem, ExplicitDumpIsParseableAndCausallyGrouped) {
   obs::metrics().counter("test.pm.events").add(3);
   obs::set_metrics_enabled(false);
   obs::PostMortemConfig config;
-  config.output_dir = ".";
+  config.output_dir = SPICE_OUTPUT_DIR;
   config.prefix = "test_postmortem";
   obs::arm_post_mortem(config);
   const std::string prefix = obs::dump_post_mortem("unit test");
@@ -395,7 +402,8 @@ TEST(PostMortem, ExplicitDumpIsParseableAndCausallyGrouped) {
 TEST(PostMortem, FatalSignalInChildLeavesParseableDump) {
   obs::set_recorder_enabled(true);
   const char* prefix = "test_signal_postmortem";
-  std::remove((std::string(prefix) + "_flight.json").c_str());
+  const std::string out_prefix = std::string(SPICE_OUTPUT_DIR) + "/" + prefix;
+  std::remove((out_prefix + "_flight.json").c_str());
 
   const pid_t pid = fork();
   ASSERT_GE(pid, 0);
@@ -404,7 +412,7 @@ TEST(PostMortem, FatalSignalInChildLeavesParseableDump) {
     // SIGTERM. _exit codes signal setup failures; the expected path never
     // reaches them because the re-raised SIGTERM kills the process.
     obs::PostMortemConfig config;
-    config.output_dir = ".";
+    config.output_dir = SPICE_OUTPUT_DIR;
     config.prefix = prefix;
     config.dump_on_signal = true;
     obs::arm_post_mortem(config);
@@ -423,13 +431,13 @@ TEST(PostMortem, FatalSignalInChildLeavesParseableDump) {
   ASSERT_TRUE(WIFSIGNALED(status));
   EXPECT_EQ(WTERMSIG(status), SIGTERM);
 
-  const std::string flight = slurp(std::string(prefix) + "_flight.json");
+  const std::string flight = slurp(out_prefix + "_flight.json");
   ASSERT_FALSE(flight.empty()) << "signal handler wrote no dump";
   std::string error;
   EXPECT_TRUE(json_is_valid(flight, &error)) << error;
   EXPECT_NE(flight.find("child.tick"), std::string::npos);
   EXPECT_NE(flight.find("signal: 15"), std::string::npos);
-  const std::string causal = slurp(std::string(prefix) + "_causal.json");
+  const std::string causal = slurp(out_prefix + "_causal.json");
   EXPECT_TRUE(json_is_valid(causal, &error)) << error;
   EXPECT_NE(causal.find("\"id\":\"j3\""), std::string::npos);
 }
